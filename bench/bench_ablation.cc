@@ -1,0 +1,258 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//  * normalization on/off — false-negative rate of the filter relative to
+//    homomorphism containment (§III-C claims normalization removes them);
+//  * prefix sharing on/off — automaton size (the §III-D space argument);
+//  * set-based vs counter-based NUM(V) candidate accounting (our fix vs the
+//    paper's literal Algorithm 1);
+//  * heuristic vs minimum selection — fragment bytes touched by the chosen
+//    view sets (why HV beats MV in Fig. 8).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "pattern/homomorphism.h"
+#include "vfilter/vfilter_serde.h"
+
+namespace {
+
+// --- normalization ----------------------------------------------------------
+//
+// Raw-form indexing already removes every false negative relative to
+// homomorphism containment; what normalization adds is the semantically
+// equivalent forms of §III-C (Example 3.2: s/*//t vs s//*/t) that no
+// homomorphism relates. This ablation filters wildcard-heavy queries —
+// including a synthetic Example 3.2 family — and counts the candidate
+// matches that disappear when normalization is off.
+
+void BM_Ablation_Normalization(benchmark::State& state) {
+  const bool normalize = state.range(0) != 0;
+  xvr_bench::FilterSetup& setup = xvr_bench::ViewScalingSetup();
+  xvr::VFilterOptions options;
+  options.normalize = normalize;
+  auto filter = xvr_bench::BuildFilter(2000, options);
+  // The Example 3.2 family over the XMark schema.
+  std::vector<xvr::TreePattern> equivalence_views;
+  int32_t next_id = 2000;
+  for (const char* vx :
+       {"/site//*/item/name", "/site/open_auctions//*/increase",
+        "/site//*/person/name"}) {
+    auto v = xvr::ParseXPath(vx, &setup.doc.labels());
+    equivalence_views.push_back(std::move(v).value());
+    filter->AddView(next_id++, equivalence_views.back());
+  }
+  std::vector<xvr::TreePattern> probes;
+  for (const char* qx :
+       {"/site/*//item/name", "/site/open_auctions/*//increase",
+        "/site/*//person/name"}) {
+    auto q = xvr::ParseXPath(qx, &setup.doc.labels());
+    probes.push_back(std::move(q).value());
+  }
+  for (size_t qi = 0; qi < 300; ++qi) {
+    probes.push_back(setup.views[qi]);
+  }
+
+  size_t total_candidates = 0;
+  for (auto _ : state) {
+    total_candidates = 0;
+    for (const xvr::TreePattern& query : probes) {
+      total_candidates += filter->Filter(query).candidates.size();
+    }
+  }
+  state.SetLabel(normalize ? "normalized" : "raw");
+  state.counters["total_candidates"] = static_cast<double>(total_candidates);
+}
+BENCHMARK(BM_Ablation_Normalization)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --- prefix sharing ---------------------------------------------------------
+
+void BM_Ablation_PrefixSharing(benchmark::State& state) {
+  const bool share = state.range(0) != 0;
+  xvr::VFilterOptions options;
+  options.share_prefixes = share;
+  size_t states = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto filter = xvr_bench::BuildFilter(4000, options);
+    states = filter->num_states();
+    bytes = xvr::SerializedVFilterSize(*filter);
+  }
+  state.SetLabel(share ? "shared" : "unshared");
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["size_kb"] = static_cast<double>(bytes) / 1024.0;
+}
+BENCHMARK(BM_Ablation_PrefixSharing)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --- NUM(V) accounting ------------------------------------------------------
+
+void BM_Ablation_CounterMode(benchmark::State& state) {
+  const bool counter = state.range(0) != 0;
+  xvr_bench::FilterSetup& setup = xvr_bench::ViewScalingSetup();
+  xvr::VFilterOptions options;
+  options.counter_mode = counter;
+  auto filter = xvr_bench::BuildFilter(2000, options);
+  auto reference = xvr_bench::BuildFilter(2000);  // set-based ground truth
+
+  size_t disagreements = 0;
+  for (auto _ : state) {
+    disagreements = 0;
+    for (size_t qi = 0; qi < 200; ++qi) {
+      if (filter->Filter(setup.views[qi]).candidates !=
+          reference->Filter(setup.views[qi]).candidates) {
+        ++disagreements;
+      }
+    }
+  }
+  state.SetLabel(counter ? "counter" : "set");
+  state.counters["queries_diverging"] = static_cast<double>(disagreements);
+}
+BENCHMARK(BM_Ablation_CounterMode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --- attribute-aware filtering (§VII future work) ---------------------------
+//
+// With attribute predicates in views and queries, the structural filter
+// keeps views whose attribute comparisons the query cannot satisfy; the
+// attribute extension prunes them. Reported: total candidates across an
+// attribute-heavy probe workload (lower = more pruning, both sound).
+
+void BM_Ablation_AttributeIndexing(benchmark::State& state) {
+  const bool attrs = state.range(0) != 0;
+  xvr_bench::FilterSetup& setup = xvr_bench::ViewScalingSetup();
+  xvr::QueryGenOptions gen;
+  gen.max_depth = 4;
+  gen.num_pred = 2;
+  gen.prob_attr = 0.6;
+  xvr::QueryGenerator generator(setup.doc, gen);
+  xvr::Rng rng(77);
+  xvr::VFilterOptions options;
+  options.index_attributes = attrs;
+  xvr::VFilter filter(options);
+  std::vector<xvr::TreePattern> views;
+  for (int i = 0; i < 2000; ++i) {
+    views.push_back(generator.Generate(&rng));
+    filter.AddView(i, views.back());
+  }
+  std::vector<xvr::TreePattern> probes;
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back(generator.Generate(&rng));
+  }
+  size_t total_candidates = 0;
+  for (auto _ : state) {
+    total_candidates = 0;
+    for (const xvr::TreePattern& query : probes) {
+      total_candidates += filter.Filter(query).candidates.size();
+    }
+  }
+  state.SetLabel(attrs ? "attr-aware" : "structural");
+  state.counters["total_candidates"] = static_cast<double>(total_candidates);
+  state.counters["states"] = static_cast<double>(filter.num_states());
+}
+BENCHMARK(BM_Ablation_AttributeIndexing)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --- heuristic vs minimum fragment footprint --------------------------------
+
+void BM_Ablation_SelectionFootprint(benchmark::State& state) {
+  const bool heuristic = state.range(0) != 0;
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const xvr::AnswerStrategy strategy =
+      heuristic ? xvr::AnswerStrategy::kHeuristicFiltered
+                : xvr::AnswerStrategy::kMinimumFiltered;
+  size_t fragment_bytes = 0;
+  size_t views = 0;
+  for (auto _ : state) {
+    fragment_bytes = 0;
+    views = 0;
+    for (const xvr::TreePattern& query : setup.queries) {
+      xvr::AnswerStats stats;
+      auto selection = setup.engine->SelectViews(query, strategy, &stats);
+      if (!selection.ok()) {
+        continue;
+      }
+      views += selection->views.size();
+      for (const xvr::SelectedView& v : selection->views) {
+        fragment_bytes +=
+            setup.engine->fragments().ViewByteSize(v.view_id);
+      }
+    }
+  }
+  state.SetLabel(heuristic ? "HV" : "MV");
+  state.counters["fragment_kb"] = static_cast<double>(fragment_bytes) / 1024.0;
+  state.counters["views_selected"] = static_cast<double>(views);
+}
+BENCHMARK(BM_Ablation_SelectionFootprint)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// --- partial materialization (§VII future work) -----------------------------
+//
+// Codes-only views store a fraction of the bytes; this ablation measures the
+// storage ratio and how much §VI-A answerability survives when EVERY view is
+// materialized codes-only.
+
+void BM_Ablation_PartialMaterialization(benchmark::State& state) {
+  const bool codes_only = state.range(0) != 0;
+  xvr::XmarkOptions doc_options;
+  doc_options.scale = 2.0;
+  doc_options.seed = 42;
+  xvr::Engine engine(xvr::GenerateXmark(doc_options));
+  xvr::QueryGenOptions gen;
+  xvr::QueryGenerator generator(engine.doc(), gen);
+  xvr::Rng rng(13);
+  std::vector<xvr::TreePattern> probes;
+  int added = 0;
+  for (int attempts = 0; added < 300 && attempts < 15000; ++attempts) {
+    xvr::TreePattern v = generator.Generate(&rng);
+    probes.push_back(v);
+    const auto id = codes_only ? engine.AddViewCodesOnly(std::move(v))
+                               : engine.AddView(std::move(v));
+    if (id.ok()) {
+      ++added;
+    }
+  }
+  size_t answerable = 0;
+  for (auto _ : state) {
+    answerable = 0;
+    for (size_t i = 0; i < 200 && i < probes.size(); ++i) {
+      if (engine
+              .AnswerQuery(probes[i],
+                           xvr::AnswerStrategy::kHeuristicFiltered)
+              .ok()) {
+        ++answerable;
+      }
+    }
+  }
+  state.SetLabel(codes_only ? "codes-only" : "full");
+  state.counters["storage_kb"] =
+      static_cast<double>(engine.fragments().TotalByteSize()) / 1024.0;
+  state.counters["answerable"] = static_cast<double>(answerable);
+  state.counters["views"] = static_cast<double>(added);
+}
+BENCHMARK(BM_Ablation_PartialMaterialization)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Figure 11: size of the serialized VFILTER image as the number of indexed
+// views grows from 1000 (V1) to 8000 (V8), reported as the scaling factor
+// S_i / S_1 against the linear baseline i. The paper observes strongly
+// sub-linear growth (S8/S1 ≈ 3.09) thanks to shared path prefixes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "vfilter/vfilter_serde.h"
+
+namespace {
+
+size_t SerializedSize(size_t num_views) {
+  auto filter = xvr_bench::BuildFilter(num_views);
+  return xvr::SerializedVFilterSize(*filter);
+}
+
+size_t S1Bytes() {
+  static const size_t s1 = SerializedSize(1000);
+  return s1;
+}
+
+void BM_Fig11_VFilterSize(benchmark::State& state) {
+  const size_t i = static_cast<size_t>(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = SerializedSize(i * 1000);
+  }
+  state.SetLabel("V" + std::to_string(i));
+  state.counters["size_kb"] = static_cast<double>(bytes) / 1024.0;
+  state.counters["scaling_Si_over_S1"] =
+      static_cast<double>(bytes) / static_cast<double>(S1Bytes());
+  state.counters["linear_baseline"] = static_cast<double>(i);
+}
+BENCHMARK(BM_Fig11_VFilterSize)
+    ->DenseRange(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

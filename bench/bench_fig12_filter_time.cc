@@ -1,0 +1,47 @@
+// Figure 12: filtering time of the Table III queries Q1..Q4 on automata
+// built from 1000..8000 views. The paper reports 15-150 µs per filtering,
+// growing much more slowly than the number of indexed views (~3.2x when
+// views grow 8x).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+xvr::VFilter& FilterFor(size_t num_views) {
+  // Cache one filter per size (building 8000-view automata per iteration
+  // would dwarf the measured filtering time).
+  static std::unique_ptr<xvr::VFilter> filters[9];
+  const size_t slot = num_views / 1000;
+  if (filters[slot] == nullptr) {
+    filters[slot] = xvr_bench::BuildFilter(num_views);
+  }
+  return *filters[slot];
+}
+
+void BM_Fig12_FilterTime(benchmark::State& state) {
+  xvr_bench::FilterSetup& setup = xvr_bench::ViewScalingSetup();
+  const size_t qi = static_cast<size_t>(state.range(0));
+  const size_t num_views = static_cast<size_t>(state.range(1)) * 1000;
+  xvr::VFilter& filter = FilterFor(num_views);
+  state.SetLabel(setup.query_names[qi] + "/V" +
+                 std::to_string(state.range(1)));
+  size_t candidates = 0;
+  for (auto _ : state) {
+    const xvr::FilterResult result = filter.Filter(setup.queries[qi]);
+    candidates = result.candidates.size();
+    benchmark::DoNotOptimize(result.candidates);
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["states"] = static_cast<double>(filter.num_states());
+}
+BENCHMARK(BM_Fig12_FilterTime)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 3, 4, 5, 6, 7, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

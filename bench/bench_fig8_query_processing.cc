@@ -1,0 +1,70 @@
+// Figure 8: query processing time of the five approaches on Q1..Q4
+// (log-scale in the paper). BN: base data + node index; BF: base data +
+// full path index; MN: minimum view set without VFILTER; MV: minimum view
+// set over VFILTER candidates; HV: heuristic selection over VFILTER.
+//
+// Expected shape (paper): BN slowest by far; MN slower than BF (it pays a
+// homomorphism for every one of the 1000 views); MV and HV fastest, with
+// HV <= MV (smaller fragments win).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+// The paper's five approaches, plus two extension rows: BT (TJFast on
+// Dewey streams, reference [22]) and HB (the fragment-size cost model).
+constexpr xvr::AnswerStrategy kStrategies[] = {
+    xvr::AnswerStrategy::kBaseNodeIndex,
+    xvr::AnswerStrategy::kBaseFullIndex,
+    xvr::AnswerStrategy::kMinimumNoFilter,
+    xvr::AnswerStrategy::kMinimumFiltered,
+    xvr::AnswerStrategy::kHeuristicFiltered,
+    xvr::AnswerStrategy::kBaseTjfast,
+    xvr::AnswerStrategy::kHeuristicSmallFragments,
+};
+
+void ReportIndexSizes() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const auto& base = setup.engine->base();
+  std::printf("\n=== Fig. 8 setup: document %zu nodes; node index %zu KB, "
+              "full index %zu KB, fragments %zu KB ===\n\n",
+              setup.engine->doc().size(),
+              base.node_index().ByteSize() / 1024,
+              base.path_index().ByteSize() / 1024,
+              setup.engine->fragments().TotalByteSize() / 1024);
+}
+
+void BM_Fig8(benchmark::State& state) {
+  ReportIndexSizes();
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const size_t qi = static_cast<size_t>(state.range(0));
+  const xvr::AnswerStrategy strategy =
+      kStrategies[static_cast<size_t>(state.range(1))];
+  state.SetLabel(setup.query_names[qi] + "/" +
+                 xvr::AnswerStrategyName(strategy));
+  size_t results = 0;
+  for (auto _ : state) {
+    auto answer = setup.engine->AnswerQuery(setup.queries[qi], strategy);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      return;
+    }
+    results = answer->codes.size();
+    benchmark::DoNotOptimize(answer->codes);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Fig8)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

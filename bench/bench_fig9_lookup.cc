@@ -1,0 +1,52 @@
+// Figure 9: lookup (view selection) time for Q1..Q4 over 1000 materialized
+// views. MN computes a homomorphism per view; MV/HV run VFILTER first and
+// touch only the few candidates, so their lookup is dominated by the
+// filtering time — the paper reports orders of magnitude between MN and
+// MV/HV.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+constexpr xvr::AnswerStrategy kStrategies[] = {
+    xvr::AnswerStrategy::kMinimumNoFilter,
+    xvr::AnswerStrategy::kMinimumFiltered,
+    xvr::AnswerStrategy::kHeuristicFiltered,
+};
+
+void BM_Fig9_Lookup(benchmark::State& state) {
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const size_t qi = static_cast<size_t>(state.range(0));
+  const xvr::AnswerStrategy strategy =
+      kStrategies[static_cast<size_t>(state.range(1))];
+  state.SetLabel(setup.query_names[qi] + "/" +
+                 xvr::AnswerStrategyName(strategy));
+  double filter_micros = 0;
+  double covers = 0;
+  double candidates = 0;
+  for (auto _ : state) {
+    xvr::AnswerStats stats;
+    auto selection =
+        setup.engine->SelectViews(setup.queries[qi], strategy, &stats);
+    if (!selection.ok()) {
+      state.SkipWithError(selection.status().ToString().c_str());
+      return;
+    }
+    filter_micros = stats.filter_micros;
+    covers = stats.covers_computed;
+    candidates = static_cast<double>(stats.candidates_after_filter);
+    benchmark::DoNotOptimize(selection->views);
+  }
+  state.counters["filter_us"] = filter_micros;
+  state.counters["covers"] = covers;
+  state.counters["candidates"] = candidates;
+}
+BENCHMARK(BM_Fig9_Lookup)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

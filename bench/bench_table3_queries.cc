@@ -1,0 +1,59 @@
+// Table III: the four test queries, their result sizes, and how many views
+// each strategy combines to answer them (Q1: 1 view, Q2/Q3: 2 views,
+// Q4: 3 views in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void ReportTable() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  std::printf("\n=== Table III: test queries over %zu materialized views "
+              "(document: %zu nodes) ===\n",
+              setup.views_materialized, setup.engine->doc().size());
+  std::printf("%-4s %-66s %8s %8s\n", "id", "query", "results", "#views");
+  const auto& table = xvr::TableIII();
+  for (size_t i = 0; i < setup.queries.size(); ++i) {
+    auto answer = setup.engine->AnswerQuery(
+        setup.queries[i], xvr::AnswerStrategy::kHeuristicFiltered);
+    std::printf("%-4s %-66s %8zu %8zu\n", setup.query_names[i].c_str(),
+                table[i].xpath.c_str(),
+                answer.ok() ? answer->codes.size() : 0,
+                answer.ok() ? answer->stats.views_selected : 0);
+  }
+  std::printf("\n");
+}
+
+void BM_Table3_Answer(benchmark::State& state) {
+  ReportTable();
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const size_t qi = static_cast<size_t>(state.range(0));
+  state.SetLabel(setup.query_names[qi]);
+  size_t results = 0;
+  size_t views = 0;
+  for (auto _ : state) {
+    auto answer = setup.engine->AnswerQuery(
+        setup.queries[qi], xvr::AnswerStrategy::kHeuristicFiltered);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      return;
+    }
+    results = answer->codes.size();
+    views = answer->stats.views_selected;
+    benchmark::DoNotOptimize(answer->codes);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["views_used"] = static_cast<double>(views);
+}
+BENCHMARK(BM_Table3_Answer)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

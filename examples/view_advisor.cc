@@ -1,0 +1,134 @@
+// view_advisor: pick which query-log entries to materialize.
+//
+// Given a synthetic query log over an XMark-like document, the advisor
+// materializes log entries as views (greedily, most-expensive-first, within
+// a storage budget) and then reports how many of the remaining log queries
+// become answerable from the view cache and the measured speedups — the
+// "multiple views discover connections between views" story of the paper's
+// introduction.
+//
+// Run:  ./view_advisor [log_size] [budget_kb]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "pattern/pattern_writer.h"
+#include "workload/query_gen.h"
+#include "workload/xmark.h"
+
+int main(int argc, char** argv) {
+  const size_t log_size = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const size_t budget_kb =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 512;
+
+  xvr::XmarkOptions doc_options;
+  doc_options.scale = 1.5;
+  xvr::Engine engine(xvr::GenerateXmark(doc_options));
+  std::printf("Document: %zu nodes; view budget %zu KB\n",
+              engine.doc().size(), budget_kb);
+
+  // A synthetic query log. Lower diversity than the paper's view workload:
+  // real logs repeat popular shapes, which is what makes caching pay off.
+  xvr::QueryGenOptions gen_options;
+  gen_options.max_depth = 3;
+  gen_options.prob_wild = 0.1;
+  gen_options.prob_desc = 0.15;
+  gen_options.num_pred = 1;
+  xvr::QueryGenerator generator(engine.doc(), gen_options);
+  xvr::Rng rng(7);
+  std::vector<xvr::TreePattern> log;
+  while (log.size() < log_size) {
+    log.push_back(generator.Generate(&rng));
+  }
+
+  // Rank log entries by base-data cost (most expensive first) and
+  // materialize while the budget lasts.
+  struct Entry {
+    size_t index;
+    double micros;
+  };
+  std::vector<Entry> ranked;
+  for (size_t i = 0; i < log.size(); ++i) {
+    xvr::WallTimer timer;
+    auto result =
+        engine.AnswerQuery(log[i], xvr::AnswerStrategy::kBaseFullIndex);
+    if (result.ok() && !result->codes.empty()) {
+      ranked.push_back(Entry{i, timer.ElapsedMicros()});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Entry& a, const Entry& b) { return a.micros > b.micros; });
+
+  size_t used_bytes = 0;
+  size_t materialized = 0;
+  std::vector<bool> is_view(log.size(), false);
+  for (const Entry& e : ranked) {
+    if (used_bytes >= budget_kb * 1024) {
+      break;
+    }
+    auto id = engine.AddView(log[e.index]);
+    if (!id.ok()) {
+      continue;
+    }
+    const size_t bytes = engine.fragments().ViewByteSize(*id);
+    // Benefit density: skip views that would eat a big slice of the budget
+    // on their own (their fragments are nearly as big as scanning base
+    // data anyway).
+    if (bytes > budget_kb * 1024 / 8) {
+      engine.RemoveView(*id);
+      continue;
+    }
+    used_bytes += bytes;
+    is_view[e.index] = true;
+    ++materialized;
+  }
+  std::printf("Materialized %zu views (%s)\n", materialized,
+              xvr::HumanBytes(used_bytes).c_str());
+
+  // How much of the rest of the log is now answerable from views?
+  size_t answerable = 0;
+  size_t considered = 0;
+  double base_total = 0;
+  double view_total = 0;
+  size_t multi_view = 0;
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (is_view[i]) {
+      continue;
+    }
+    ++considered;
+    auto hv = engine.AnswerQuery(log[i],
+                                 xvr::AnswerStrategy::kHeuristicFiltered);
+    if (!hv.ok()) {
+      continue;
+    }
+    auto bf =
+        engine.AnswerQuery(log[i], xvr::AnswerStrategy::kBaseFullIndex);
+    if (!bf.ok() || bf->codes != hv->codes) {
+      std::printf("MISMATCH on %s\n",
+                  xvr::PatternToXPath(log[i], engine.labels()).c_str());
+      return 1;
+    }
+    ++answerable;
+    if (hv->stats.views_selected > 1) {
+      ++multi_view;
+    }
+    base_total += bf->stats.total_micros;
+    view_total += hv->stats.total_micros;
+  }
+  std::printf("Answerable from the cache: %zu / %zu non-view log queries\n",
+              answerable, considered);
+  std::printf("  of which combined multiple views: %zu\n", multi_view);
+  if (answerable > 0) {
+    std::printf("  total time: %.0f us from views vs %.0f us on base data "
+                "(%.1fx)\n",
+                view_total, base_total,
+                view_total > 0 ? base_total / view_total : 0.0);
+  }
+  return 0;
+}

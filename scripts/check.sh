@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full verification pass: build, unit/property tests, sanitizer run, and the
+# benchmark suite (one binary per paper table/figure).
+#
+# Usage: scripts/check.sh [--with-asan] [--with-bench]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WITH_ASAN=0
+WITH_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --with-asan) WITH_ASAN=1 ;;
+    --with-bench) WITH_BENCH=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+if [[ "$WITH_ASAN" == 1 ]]; then
+  echo "== sanitizer build + tests =="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "$WITH_BENCH" == 1 ]]; then
+  echo "== benches =="
+  for b in build/bench/bench_*; do
+    echo "----- $b"
+    "$b"
+  done
+fi
+
+echo "ALL CHECKS PASSED"

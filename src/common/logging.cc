@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace xvr {
+namespace internal_logging {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace xvr

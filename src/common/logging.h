@@ -1,0 +1,59 @@
+#ifndef XVR_COMMON_LOGGING_H_
+#define XVR_COMMON_LOGGING_H_
+
+// Minimal logging and invariant-check macros.
+//
+// XVR_CHECK(cond) aborts on violation in every build type; XVR_DCHECK only in
+// debug builds. Both stream extra context:
+//   XVR_CHECK(n < size_) << "index " << n << " out of range";
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace xvr {
+namespace internal_logging {
+
+// Accumulates the streamed message and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace xvr
+
+#define XVR_CHECK(condition)                                              \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::xvr::internal_logging::CheckFailure(__FILE__, __LINE__, #condition)
+
+#ifdef NDEBUG
+#define XVR_DCHECK(condition) \
+  if (true) {                 \
+  } else                      \
+    ::xvr::internal_logging::NullStream()
+#else
+#define XVR_DCHECK(condition) XVR_CHECK(condition)
+#endif
+
+#endif  // XVR_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+#ifndef XVR_COMMON_RANDOM_H_
+#define XVR_COMMON_RANDOM_H_
+
+// Deterministic pseudo-random generator used across workload generation so
+// that documents, views and queries are reproducible from a single seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xvr {
+
+// xoshiro256** — fast, high quality, trivially seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound); bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Picks an index in [0, weights.size()) with probability proportional to
+  // weights[i]; all-zero weights pick uniformly.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_RANDOM_H_

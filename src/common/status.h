@@ -1,0 +1,126 @@
+#ifndef XVR_COMMON_STATUS_H_
+#define XVR_COMMON_STATUS_H_
+
+// Error handling for the xvr library.
+//
+// The library does not use exceptions (databases-domain convention): every
+// fallible operation returns a Status, or a Result<T> when it also produces a
+// value. Both are cheap to move and copy (the OK path stores no allocation).
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xvr {
+
+// Category of a failure. Kept small on purpose; the message carries details.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kParseError = 2,        // XML or XPath text could not be parsed
+  kNotFound = 3,          // a looked-up entity does not exist
+  kNotAnswerable = 4,     // no view set can answer the query
+  kCapacityExceeded = 5,  // a configured size limit was hit
+  kIoError = 6,           // file read/write failure
+  kInternal = 7,          // invariant violation inside the library
+};
+
+// Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. `Status::Ok()` is the success singleton.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotAnswerable(std::string msg) {
+    return Status(StatusCode::kNotAnswerable, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "PARSE_ERROR: unexpected '<' at offset 12".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// A value-or-error. On success holds T; on failure holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return MakeThing();` and `return status;`
+  // both work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Valid only when ok(); checked in debug builds via the optional.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define XVR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::xvr::Status xvr_status_tmp_ = (expr);      \
+    if (!xvr_status_tmp_.ok()) {                 \
+      return xvr_status_tmp_;                    \
+    }                                            \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs` (which must already be declared).
+#define XVR_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                           \
+    auto xvr_result_tmp_ = (expr);               \
+    if (!xvr_result_tmp_.ok()) {                 \
+      return xvr_result_tmp_.status();           \
+    }                                            \
+    lhs = std::move(xvr_result_tmp_).value();    \
+  } while (false)
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_STATUS_H_

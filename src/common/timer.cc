@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// WallTimer is header-only; this translation unit anchors the header in the
+// build so include errors surface early.

@@ -1,0 +1,38 @@
+#ifndef XVR_COMMON_TIMER_H_
+#define XVR_COMMON_TIMER_H_
+
+// Wall-clock timing used by the benchmark harnesses and engine statistics.
+
+#include <chrono>
+#include <cstdint>
+
+namespace xvr {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Nanoseconds since construction or last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_TIMER_H_

@@ -1,0 +1,373 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+#include "pattern/minimize.h"
+#include "selection/heuristic_selector.h"
+#include "selection/minimum_selector.h"
+#include "storage/kv_store.h"
+#include "vfilter/vfilter_serde.h"
+#include "xml/fst.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xvr {
+
+const char* AnswerStrategyName(AnswerStrategy strategy) {
+  switch (strategy) {
+    case AnswerStrategy::kBaseNodeIndex:
+      return "BN";
+    case AnswerStrategy::kBaseFullIndex:
+      return "BF";
+    case AnswerStrategy::kBaseTjfast:
+      return "BT";
+    case AnswerStrategy::kMinimumNoFilter:
+      return "MN";
+    case AnswerStrategy::kMinimumFiltered:
+      return "MV";
+    case AnswerStrategy::kHeuristicFiltered:
+      return "HV";
+    case AnswerStrategy::kHeuristicSmallFragments:
+      return "HB";
+  }
+  return "?";
+}
+
+Engine::Engine(XmlTree doc, EngineOptions options)
+    : doc_(std::move(doc)),
+      options_(std::move(options)),
+      base_(doc_),
+      vfilter_(options_.vfilter) {
+  if (!doc_.has_dewey()) {
+    doc_.AssignDeweyCodes();
+  }
+  if (!options_.materialize.evaluate) {
+    // Use the indexed evaluator for materialization speed.
+    options_.materialize.evaluate = [this](const TreePattern& pattern,
+                                           const XmlTree& tree) {
+      XVR_CHECK(&tree == &doc_);
+      return base_.Evaluate(pattern, BaseStrategy::kNodeIndex);
+    };
+  }
+}
+
+Result<TreePattern> Engine::Parse(const std::string& xpath) {
+  return ParseXPath(xpath, &doc_.labels());
+}
+
+Result<int32_t> Engine::AddView(TreePattern view) {
+  if (options_.minimize_patterns) {
+    MinimizePattern(&view);
+  }
+  std::vector<Fragment> fragments;
+  XVR_ASSIGN_OR_RETURN(fragments,
+                       MaterializeView(view, doc_, options_.materialize));
+  const int32_t id = next_view_id_++;
+  fragment_store_.PutView(id, std::move(fragments));
+  vfilter_.AddView(id, view);
+  views_.emplace(id, std::move(view));
+  return id;
+}
+
+Result<int32_t> Engine::AddViewCodesOnly(TreePattern view) {
+  if (options_.minimize_patterns) {
+    MinimizePattern(&view);
+  }
+  MaterializeOptions options = options_.materialize;
+  options.codes_only = true;
+  std::vector<Fragment> fragments;
+  XVR_ASSIGN_OR_RETURN(fragments, MaterializeView(view, doc_, options));
+  const int32_t id = next_view_id_++;
+  fragment_store_.PutView(id, std::move(fragments));
+  vfilter_.AddView(id, view);
+  views_.emplace(id, std::move(view));
+  partial_views_.insert(id);
+  return id;
+}
+
+int32_t Engine::AddViewPattern(TreePattern view) {
+  if (options_.minimize_patterns) {
+    MinimizePattern(&view);
+  }
+  const int32_t id = next_view_id_++;
+  vfilter_.AddView(id, view);
+  views_.emplace(id, std::move(view));
+  return id;
+}
+
+void Engine::RemoveView(int32_t id) {
+  if (views_.erase(id) > 0) {
+    vfilter_.RemoveView(id);
+    fragment_store_.RemoveView(id);
+    partial_views_.erase(id);
+  }
+}
+
+const TreePattern* Engine::view(int32_t id) const {
+  auto it = views_.find(id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<int32_t> Engine::view_ids() const {
+  std::vector<int32_t> ids;
+  ids.reserve(views_.size());
+  for (const auto& [id, pattern] : views_) {
+    (void)pattern;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+ViewLookup Engine::MakeLookup() const {
+  return [this](int32_t id) { return view(id); };
+}
+
+Result<SelectionResult> Engine::SelectViews(const TreePattern& query,
+                                            AnswerStrategy strategy,
+                                            AnswerStats* stats) {
+  // NOTE: the query is used as given — the cover node indices in the result
+  // refer to it. AnswerQuery minimizes before calling here so that the same
+  // pattern flows through selection and rewriting.
+  WallTimer timer;
+  switch (strategy) {
+    case AnswerStrategy::kMinimumNoFilter: {
+      Result<SelectionResult> selection = SelectMinimum(
+          query, view_ids(), MakeLookup(),
+          [this](int32_t id) { return IsViewPartial(id); });
+      stats->selection_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = views_.size();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kMinimumFiltered: {
+      FilterResult filtered = vfilter_.Filter(query);
+      stats->filter_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = filtered.candidates.size();
+      timer.Restart();
+      Result<SelectionResult> selection = SelectMinimum(
+          query, filtered.candidates, MakeLookup(),
+          [this](int32_t id) { return IsViewPartial(id); });
+      stats->selection_micros = timer.ElapsedMicros();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kHeuristicFiltered:
+    case AnswerStrategy::kHeuristicSmallFragments: {
+      FilterResult filtered = vfilter_.Filter(query);
+      stats->filter_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = filtered.candidates.size();
+      timer.Restart();
+      HeuristicOptions options;
+      options.is_partial = [this](int32_t id) { return IsViewPartial(id); };
+      if (strategy == AnswerStrategy::kHeuristicSmallFragments) {
+        options.order = HeuristicOptions::Order::kFragmentBytes;
+        options.view_bytes = [this](int32_t id) {
+          return fragment_store_.ViewByteSize(id);
+        };
+      }
+      Result<SelectionResult> selection =
+          SelectHeuristic(query, filtered, MakeLookup(), options);
+      stats->selection_micros = timer.ElapsedMicros();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kBaseNodeIndex:
+    case AnswerStrategy::kBaseFullIndex:
+    case AnswerStrategy::kBaseTjfast:
+      return Status::InvalidArgument(
+          "base-data strategies do not select views");
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Result<Engine::Answer> Engine::AnswerQuery(const TreePattern& query,
+                                           AnswerStrategy strategy) {
+  if (options_.minimize_patterns) {
+    TreePattern minimized = query;
+    if (MinimizePattern(&minimized) > 0) {
+      EngineOptions saved_options = options_;
+      options_.minimize_patterns = false;  // already minimal now
+      Result<Answer> result = AnswerQuery(minimized, strategy);
+      options_ = std::move(saved_options);
+      return result;
+    }
+  }
+  Answer answer;
+  WallTimer total;
+  if (strategy == AnswerStrategy::kBaseNodeIndex ||
+      strategy == AnswerStrategy::kBaseFullIndex ||
+      strategy == AnswerStrategy::kBaseTjfast) {
+    WallTimer timer;
+    const BaseStrategy base_strategy =
+        strategy == AnswerStrategy::kBaseNodeIndex ? BaseStrategy::kNodeIndex
+        : strategy == AnswerStrategy::kBaseFullIndex
+            ? BaseStrategy::kFullIndex
+            : BaseStrategy::kTjfast;
+    const std::vector<NodeId> nodes = base_.Evaluate(query, base_strategy);
+    answer.stats.execution_micros = timer.ElapsedMicros();
+    answer.codes.reserve(nodes.size());
+    for (NodeId n : nodes) {
+      answer.codes.push_back(doc_.dewey(n));
+    }
+    std::sort(answer.codes.begin(), answer.codes.end());
+    answer.stats.total_micros = total.ElapsedMicros();
+    return answer;
+  }
+
+  SelectionResult selection;
+  XVR_ASSIGN_OR_RETURN(selection,
+                       SelectViews(query, strategy, &answer.stats));
+
+  WallTimer timer;
+  Result<std::vector<DeweyCode>> codes =
+      AnswerWithViews(query, selection, fragment_store_, *doc_.fst(),
+                      &answer.stats.rewrite);
+  answer.stats.execution_micros = timer.ElapsedMicros();
+  answer.stats.total_micros = total.ElapsedMicros();
+  if (!codes.ok()) {
+    return codes.status();
+  }
+  answer.codes = std::move(codes).value();
+  return answer;
+}
+
+Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
+    const TreePattern& query, AnswerStrategy strategy) {
+  if (options_.minimize_patterns) {
+    TreePattern minimized = query;
+    if (MinimizePattern(&minimized) > 0) {
+      EngineOptions saved_options = options_;
+      options_.minimize_patterns = false;
+      Result<std::vector<MaterializedAnswer>> result =
+          AnswerQueryXml(minimized, strategy);
+      options_ = std::move(saved_options);
+      return result;
+    }
+  }
+  if (strategy == AnswerStrategy::kBaseNodeIndex ||
+      strategy == AnswerStrategy::kBaseFullIndex ||
+      strategy == AnswerStrategy::kBaseTjfast) {
+    Answer answer;
+    XVR_ASSIGN_OR_RETURN(answer, AnswerQuery(query, strategy));
+    std::vector<MaterializedAnswer> out;
+    out.reserve(answer.codes.size());
+    for (const DeweyCode& code : answer.codes) {
+      const NodeId node = doc_.FindByDewey(code);
+      out.push_back(MaterializedAnswer{code, WriteXml(doc_, node)});
+    }
+    return out;
+  }
+  AnswerStats stats;
+  SelectionResult selection;
+  XVR_ASSIGN_OR_RETURN(selection, SelectViews(query, strategy, &stats));
+  return AnswerWithViewsXml(query, selection, fragment_store_, *doc_.fst(),
+                            doc_.labels());
+}
+
+Status Engine::SaveState(const std::string& path) const {
+  KvStore kv;
+  kv.Put("meta/doc", WriteXml(doc_, doc_.root()));
+  for (const auto& [id, pattern] : views_) {
+    const std::string key =
+        "view/" + std::string(10 - std::min<size_t>(
+                                       10, std::to_string(id).size()),
+                              '0') +
+        std::to_string(id);
+    kv.Put(key, PatternToXPath(pattern, doc_.labels()));
+    if (!fragment_store_.HasView(id)) {
+      kv.Put("viewmeta/" + std::to_string(id), "pattern-only");
+    } else if (partial_views_.count(id) > 0) {
+      kv.Put("viewmeta/" + std::to_string(id), "codes-only");
+    }
+  }
+  kv.Put("meta/next_view_id", std::to_string(next_view_id_));
+  kv.Put("vfilter/image", SerializeVFilter(vfilter_));
+  XVR_RETURN_IF_ERROR(fragment_store_.SaveTo(&kv));
+  return kv.SaveToFile(path);
+}
+
+Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
+                                                  EngineOptions options) {
+  KvStore kv;
+  XVR_RETURN_IF_ERROR(kv.LoadFromFile(path));
+  const std::string* doc_xml = kv.Get("meta/doc");
+  if (doc_xml == nullptr) {
+    return Status::ParseError("engine image has no document");
+  }
+  XmlTree doc;
+  XVR_ASSIGN_OR_RETURN(doc, ParseXml(*doc_xml));
+  doc.AssignDeweyCodes();
+  // The VFilter image references label ids interned while parsing the
+  // document (views only use labels that occur in it), so options for the
+  // filter come from the image itself.
+  auto engine = std::make_unique<Engine>(std::move(doc), std::move(options));
+
+  const std::string* image = kv.Get("vfilter/image");
+  if (image == nullptr) {
+    return Status::ParseError("engine image has no VFilter");
+  }
+  // Restore views (patterns re-parsed against the restored dictionary).
+  Status status = Status::Ok();
+  kv.ScanPrefix("view/", [&](const std::string& key,
+                             const std::string& xpath) {
+    const int32_t id =
+        static_cast<int32_t>(std::atoi(key.substr(5).c_str()));
+    Result<TreePattern> pattern = engine->Parse(xpath);
+    if (!pattern.ok()) {
+      status = pattern.status();
+      return false;
+    }
+    engine->views_.emplace(id, std::move(pattern).value());
+    return true;
+  });
+  XVR_RETURN_IF_ERROR(status);
+  XVR_ASSIGN_OR_RETURN(engine->vfilter_, DeserializeVFilter(*image));
+  XVR_RETURN_IF_ERROR(engine->fragment_store_.LoadFrom(kv));
+  kv.ScanPrefix("viewmeta/", [&](const std::string& key,
+                                 const std::string& value) {
+    if (value == "codes-only") {
+      engine->partial_views_.insert(
+          static_cast<int32_t>(std::atoi(key.substr(9).c_str())));
+    }
+    return true;
+  });
+  if (const std::string* next = kv.Get("meta/next_view_id")) {
+    engine->next_view_id_ = static_cast<int32_t>(std::atoi(next->c_str()));
+  }
+  return engine;
+}
+
+Engine::BestEffortAnswer Engine::AnswerBestEffort(const TreePattern& query) {
+  BestEffortAnswer out;
+  Result<Answer> exact =
+      AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+  if (exact.ok()) {
+    out.codes = std::move(exact->codes);
+    out.exact = true;
+    out.views_used = exact->stats.views_selected;
+    return out;
+  }
+  ContainedRewriteResult contained =
+      ContainedRewrite(query, view_ids(), MakeLookup(), fragment_store_);
+  out.codes = std::move(contained.codes);
+  out.exact = false;
+  out.views_used = contained.views_used.size();
+  return out;
+}
+
+}  // namespace xvr

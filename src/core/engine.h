@@ -1,0 +1,175 @@
+#ifndef XVR_CORE_ENGINE_H_
+#define XVR_CORE_ENGINE_H_
+
+// The top-level facade tying the whole framework of Figure 1 together:
+// a base document, a catalog of materialized views, the VFILTER index, the
+// two selection strategies and the multi-view rewriter, plus the base-data
+// baselines (BN/BF) for comparison.
+//
+// Typical use:
+//
+//   Engine engine(GenerateXmark({}));
+//   auto view = engine.Parse("//person[profile/interest]/name");
+//   int32_t id = engine.AddView(std::move(view).value()).value();
+//   auto query = engine.Parse("/site/people/person[profile/interest]/name");
+//   auto answer = engine.AnswerQuery(*query, AnswerStrategy::kHeuristicFiltered);
+//   // answer->codes == the extended Dewey codes of the query result.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "pattern/tree_pattern.h"
+#include "rewrite/contained.h"
+#include "rewrite/rewriter.h"
+#include "selection/answerability.h"
+#include "storage/fragment_store.h"
+#include "storage/materializer.h"
+#include "vfilter/vfilter.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+enum class AnswerStrategy {
+  kBaseNodeIndex,      // BN: base data, basic node index
+  kBaseFullIndex,      // BF: base data, full path index
+  kBaseTjfast,         // BT: base data, TJFast on extended Dewey codes [22]
+  kMinimumNoFilter,    // MN: minimum view set, no VFILTER
+  kMinimumFiltered,    // MV: minimum view set over VFILTER candidates
+  kHeuristicFiltered,  // HV: Algorithm 2 over VFILTER candidates
+  // HB: the cost-model variant §IV-B sketches — Algorithm 2 ordering
+  // candidates by materialized fragment size instead of path length.
+  kHeuristicSmallFragments,
+};
+
+const char* AnswerStrategyName(AnswerStrategy strategy);
+
+struct AnswerStats {
+  double filter_micros = 0;     // VFILTER time (zero for BN/BF/MN)
+  double selection_micros = 0;  // leaf covers + set cover / greedy walk
+  double execution_micros = 0;  // fragment refinement/join or base scan
+  double total_micros = 0;
+  size_t candidates_after_filter = 0;
+  size_t views_selected = 0;
+  int covers_computed = 0;
+  RewriteStats rewrite;
+};
+
+struct EngineOptions {
+  MaterializeOptions materialize;  // 128 KB per-view cap by default
+  VFilterOptions vfilter;
+  // Minimize view and query patterns on entry (the paper assumes all tree
+  // patterns are minimized, §II). Sound: minimization preserves
+  // equivalence and never drops the answer branch.
+  bool minimize_patterns = true;
+};
+
+class Engine {
+ public:
+  // Takes ownership of the document; Dewey codes are assigned if absent.
+  explicit Engine(XmlTree doc, EngineOptions options = {});
+
+  // Internal components hold references into the engine.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const XmlTree& doc() const { return doc_; }
+  LabelDict& labels() { return doc_.labels(); }
+
+  // Parses an XPath against the document's label dictionary.
+  Result<TreePattern> Parse(const std::string& xpath);
+
+  // --- view catalog ---------------------------------------------------------
+
+  // Materializes and indexes a view. Fails with NOT_FOUND for empty results
+  // and CAPACITY_EXCEEDED when the per-view fragment budget is hit.
+  Result<int32_t> AddView(TreePattern view);
+
+  // §VII partial materialization: stores only the answer-node codes (plus
+  // their text/attributes). Such a view joins and anchors like any other
+  // but can only anchor at query nodes with nothing to check below them.
+  Result<int32_t> AddViewCodesOnly(TreePattern view);
+
+  bool IsViewPartial(int32_t id) const {
+    return partial_views_.count(id) > 0;
+  }
+
+  // Indexes a view pattern in VFILTER without materializing fragments
+  // (enough for the filtering experiments, Figs. 10-12).
+  int32_t AddViewPattern(TreePattern view);
+
+  void RemoveView(int32_t id);
+
+  const TreePattern* view(int32_t id) const;
+  size_t num_views() const { return views_.size(); }
+  std::vector<int32_t> view_ids() const;
+
+  // --- answering ------------------------------------------------------------
+
+  struct Answer {
+    std::vector<DeweyCode> codes;
+    AnswerStats stats;
+  };
+
+  Result<Answer> AnswerQuery(const TreePattern& query,
+                             AnswerStrategy strategy);
+
+  // Answers and materializes each result as XML text: from the document for
+  // base strategies, from the view fragments (no base access) for view
+  // strategies.
+  Result<std::vector<MaterializedAnswer>> AnswerQueryXml(
+      const TreePattern& query, AnswerStrategy strategy);
+
+  // Best-effort answering (§VII future work): tries the equivalent
+  // multi-view rewriting first; when the query is not answerable, falls
+  // back to the sound contained rewriting over all materialized views.
+  struct BestEffortAnswer {
+    std::vector<DeweyCode> codes;
+    bool exact = false;           // true: equivalent rewriting succeeded
+    size_t views_used = 0;
+  };
+  BestEffortAnswer AnswerBestEffort(const TreePattern& query);
+
+  // Selection only ("lookup" in the paper's Fig. 9). Valid for the three
+  // view strategies.
+  Result<SelectionResult> SelectViews(const TreePattern& query,
+                                      AnswerStrategy strategy,
+                                      AnswerStats* stats);
+
+  // --- persistence -----------------------------------------------------------
+  //
+  // Saves the complete state (document, view patterns, VFILTER image,
+  // materialized fragments) into one KvStore image on disk and restores it.
+  // Mirrors the paper's deployment where BDB holds the filter and the
+  // fragments across sessions.
+
+  Status SaveState(const std::string& path) const;
+  static Result<std::unique_ptr<Engine>> LoadState(const std::string& path,
+                                                   EngineOptions options = {});
+
+  // --- component access (benches, tests) ------------------------------------
+
+  const VFilter& vfilter() const { return vfilter_; }
+  const BaseEvaluator& base() const { return base_; }
+  const FragmentStore& fragments() const { return fragment_store_; }
+
+ private:
+  ViewLookup MakeLookup() const;
+
+  XmlTree doc_;
+  EngineOptions options_;
+  BaseEvaluator base_;
+  VFilter vfilter_;
+  FragmentStore fragment_store_;
+  std::unordered_map<int32_t, TreePattern> views_;
+  std::unordered_set<int32_t> partial_views_;  // codes-only materialization
+  int32_t next_view_id_ = 0;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_CORE_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "exec/evaluator.h"
+
+namespace xvr {
+
+const NodeIndex& BaseEvaluator::node_index() const {
+  if (node_index_ == nullptr) {
+    node_index_ = std::make_unique<NodeIndex>(tree_);
+  }
+  return *node_index_;
+}
+
+const PathIndex& BaseEvaluator::path_index() const {
+  if (path_index_ == nullptr) {
+    path_index_ = std::make_unique<PathIndex>(tree_);
+  }
+  return *path_index_;
+}
+
+const TjFastEvaluator& BaseEvaluator::tjfast() const {
+  if (tjfast_ == nullptr) {
+    tjfast_ = std::make_unique<TjFastEvaluator>(tree_, node_index());
+  }
+  return *tjfast_;
+}
+
+std::vector<NodeId> BaseEvaluator::Evaluate(const TreePattern& pattern,
+                                            BaseStrategy strategy) const {
+  switch (strategy) {
+    case BaseStrategy::kNodeIndex:
+      return node_index().Evaluate(pattern);
+    case BaseStrategy::kFullIndex:
+      return path_index().Evaluate(pattern);
+    case BaseStrategy::kTjfast:
+      return tjfast().Evaluate(pattern);
+  }
+  return {};
+}
+
+}  // namespace xvr

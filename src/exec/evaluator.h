@@ -1,0 +1,45 @@
+#ifndef XVR_EXEC_EVALUATOR_H_
+#define XVR_EXEC_EVALUATOR_H_
+
+// Facade over the two base-data execution baselines of the paper's Fig. 8:
+// BN (basic node index) and BF (full path index). Indexes are built lazily
+// and cached.
+
+#include <memory>
+#include <vector>
+
+#include "exec/node_index.h"
+#include "exec/path_index.h"
+#include "exec/tjfast.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+enum class BaseStrategy {
+  kNodeIndex,  // BN
+  kFullIndex,  // BF
+  kTjfast,     // BT: TJFast-style evaluation on extended Dewey codes [22]
+};
+
+class BaseEvaluator {
+ public:
+  // The tree must outlive the evaluator.
+  explicit BaseEvaluator(const XmlTree& tree) : tree_(tree) {}
+
+  std::vector<NodeId> Evaluate(const TreePattern& pattern,
+                               BaseStrategy strategy) const;
+
+  const NodeIndex& node_index() const;
+  const PathIndex& path_index() const;
+  const TjFastEvaluator& tjfast() const;
+
+ private:
+  const XmlTree& tree_;
+  mutable std::unique_ptr<NodeIndex> node_index_;
+  mutable std::unique_ptr<PathIndex> path_index_;
+  mutable std::unique_ptr<TjFastEvaluator> tjfast_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_EXEC_EVALUATOR_H_

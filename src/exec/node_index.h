@@ -1,0 +1,70 @@
+#ifndef XVR_EXEC_NODE_INDEX_H_
+#define XVR_EXEC_NODE_INDEX_H_
+
+// The "basic node index" baseline (BN in the paper's Fig. 8): an inverted
+// list from label to nodes in document order, plus Euler-tour intervals for
+// O(log) structural containment checks. Pattern evaluation proceeds
+// bottom-up over the candidate lists (a list-based structural join), then
+// top-down along the root-to-answer chain.
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+// Pre-order begin/end intervals: y is in x's subtree iff
+// begin[x] <= begin[y] && begin[y] < end[x].
+struct TreeIntervals {
+  std::vector<int32_t> begin;
+  std::vector<int32_t> end;
+
+  explicit TreeIntervals(const XmlTree& tree);
+
+  bool Contains(NodeId ancestor, NodeId descendant) const {
+    return begin[static_cast<size_t>(ancestor)] <=
+               begin[static_cast<size_t>(descendant)] &&
+           begin[static_cast<size_t>(descendant)] <
+               end[static_cast<size_t>(ancestor)];
+  }
+};
+
+class NodeIndex {
+ public:
+  explicit NodeIndex(const XmlTree& tree);
+
+  // Nodes labeled `label`, in document (pre-order) order.
+  const std::vector<NodeId>& Nodes(LabelId label) const;
+
+  // Answers of the pattern, like EvaluatePattern but driven by the index.
+  std::vector<NodeId> Evaluate(const TreePattern& pattern) const;
+
+  // Approximate index footprint (the BN "database size" metric).
+  size_t ByteSize() const;
+
+  const TreeIntervals& intervals() const { return intervals_; }
+  const XmlTree& tree() const { return tree_; }
+
+ private:
+  // Candidate nodes for a pattern node (label list or every node for '*',
+  // value predicate applied), in document order.
+  std::vector<NodeId> Candidates(const TreePattern& pattern,
+                                 TreePattern::NodeIndex pn) const;
+
+  const XmlTree& tree_;
+  TreeIntervals intervals_;
+  std::vector<std::vector<NodeId>> by_label_;
+  std::vector<NodeId> all_nodes_;
+};
+
+// Shared by NodeIndex and PathIndex: bottom-up filtering + top-down answer
+// extraction given per-pattern-node candidate lists (document order).
+std::vector<NodeId> StructuralJoinEvaluate(
+    const TreePattern& pattern, const XmlTree& tree,
+    const TreeIntervals& intervals,
+    std::vector<std::vector<NodeId>> candidates);
+
+}  // namespace xvr
+
+#endif  // XVR_EXEC_NODE_INDEX_H_

@@ -1,0 +1,122 @@
+#include "exec/path_index.h"
+
+#include <algorithm>
+#include <string>
+
+#include "pattern/path_pattern.h"
+#include "rewrite/prefix_join.h"
+
+namespace xvr {
+
+PathIndex::PathIndex(const XmlTree& tree)
+    : tree_(tree), intervals_(tree) {
+  if (tree.size() == 0) {
+    return;
+  }
+  // DFS building the running label path; bucket keys are the packed label
+  // sequences.
+  std::unordered_map<std::string, size_t> bucket_of;
+  std::vector<LabelId> path;
+  std::string key;
+  // (node, depth) — on visiting, truncate the running path to depth.
+  std::vector<std::pair<NodeId, size_t>> stack = {{tree.root(), 0}};
+  while (!stack.empty()) {
+    const auto [n, depth] = stack.back();
+    stack.pop_back();
+    path.resize(depth);
+    path.push_back(tree.label(n));
+    key.assign(reinterpret_cast<const char*>(path.data()),
+               path.size() * sizeof(LabelId));
+    auto [it, inserted] = bucket_of.emplace(key, paths_.size());
+    if (inserted) {
+      paths_.push_back(Bucket{path, {}});
+    }
+    paths_[it->second].nodes.push_back(n);
+    const std::vector<NodeId> children = tree.Children(n);
+    for (auto rit = children.rbegin(); rit != children.rend(); ++rit) {
+      stack.emplace_back(*rit, depth + 1);
+    }
+  }
+  // DFS above visits in document order except sibling subtrees interleave
+  // bucket appends correctly (pre-order): nodes within a bucket are already
+  // in document order; sort defensively by interval begin.
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    Bucket& b = paths_[i];
+    std::sort(b.nodes.begin(), b.nodes.end(), [this](NodeId a, NodeId c) {
+      return intervals_.begin[static_cast<size_t>(a)] <
+             intervals_.begin[static_cast<size_t>(c)];
+    });
+    by_last_label_[b.labels.back()].push_back(i);
+  }
+}
+
+std::vector<NodeId> PathIndex::Evaluate(const TreePattern& pattern) const {
+  if (pattern.empty() || tree_.size() == 0) {
+    return {};
+  }
+  // Candidates per pattern node: union of buckets whose label path matches
+  // the root path pattern of that node.
+  std::vector<std::vector<NodeId>> candidates(pattern.size());
+  for (size_t pi = 0; pi < pattern.size(); ++pi) {
+    const auto pn = static_cast<TreePattern::NodeIndex>(pi);
+    const PathPattern root_path = PathTo(pattern, pn);
+    std::vector<NodeId>& mine = candidates[pi];
+    const LabelId last = pattern.label(pn);
+    auto scan = [&](const std::vector<size_t>& bucket_ids) {
+      for (size_t b : bucket_ids) {
+        const Bucket& bucket = paths_[b];
+        if (PathMatchesLabels(root_path, bucket.labels)) {
+          mine.insert(mine.end(), bucket.nodes.begin(), bucket.nodes.end());
+        }
+      }
+    };
+    if (last == kWildcardLabel) {
+      for (const auto& [label, bucket_ids] : by_last_label_) {
+        (void)label;
+        scan(bucket_ids);
+      }
+    } else if (auto it = by_last_label_.find(last);
+               it != by_last_label_.end()) {
+      scan(it->second);
+    }
+    if (mine.empty()) {
+      return {};
+    }
+    std::sort(mine.begin(), mine.end(), [this](NodeId a, NodeId b) {
+      return intervals_.begin[static_cast<size_t>(a)] <
+             intervals_.begin[static_cast<size_t>(b)];
+    });
+    // Apply value predicates.
+    const PatternNode& p = pattern.node(pn);
+    if (p.value_pred.has_value()) {
+      std::vector<NodeId> kept;
+      for (NodeId n : mine) {
+        const std::string* v = tree_.attribute(n, p.value_pred->attribute);
+        if (v != nullptr && p.value_pred->Matches(*v)) {
+          kept.push_back(n);
+        }
+      }
+      mine = std::move(kept);
+      if (mine.empty()) {
+        return {};
+      }
+    }
+  }
+  return StructuralJoinEvaluate(pattern, tree_, intervals_,
+                                std::move(candidates));
+}
+
+size_t PathIndex::ByteSize() const {
+  size_t bytes = intervals_.begin.size() * sizeof(int32_t) * 2;
+  for (const Bucket& b : paths_) {
+    // Key storage + per-node full path replication cost models the heavy
+    // footprint of a full path index (every node indexed under its entire
+    // root path).
+    bytes += b.labels.size() * sizeof(LabelId);
+    bytes += b.nodes.size() * (sizeof(NodeId) + b.labels.size() *
+                                                    sizeof(LabelId));
+  }
+  return bytes;
+}
+
+}  // namespace xvr

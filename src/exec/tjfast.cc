@@ -1,0 +1,261 @@
+#include "exec/tjfast.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "pattern/path_pattern.h"
+#include "rewrite/prefix_join.h"
+#include "xml/fst.h"
+
+namespace xvr {
+namespace {
+
+// One way a leaf-stream node can embed under its root path pattern: the
+// Dewey prefixes assigned to the "interesting" query nodes on that path
+// (shared branch nodes plus the answer node).
+struct LeafMatch {
+  std::vector<DeweyCode> prefixes;  // parallel to the path's sig node list
+};
+
+struct PathStream {
+  // Query nodes on this path whose positions the join must agree on.
+  std::vector<TreePattern::NodeIndex> sig_nodes;
+  // Position (index within the path) of each sig node.
+  std::vector<size_t> sig_pos;
+  // Index of the answer node within sig_nodes, or -1.
+  int answer_slot = -1;
+  std::vector<LeafMatch> matches;
+  std::unordered_set<std::string> keys;  // full signature keys
+};
+
+std::string KeyOf(const LeafMatch& match) {
+  std::string key;
+  for (const DeweyCode& prefix : match.prefixes) {
+    key += prefix.ToString();
+    key.push_back('|');
+  }
+  return key;
+}
+
+// Walks from `node` up `levels` parents.
+NodeId AncestorAt(const XmlTree& tree, NodeId node, size_t levels) {
+  NodeId cur = node;
+  for (size_t i = 0; i < levels && cur != kNullNode; ++i) {
+    cur = tree.node(cur).parent;
+  }
+  return cur;
+}
+
+}  // namespace
+
+TjFastEvaluator::TjFastEvaluator(const XmlTree& tree, const NodeIndex& index)
+    : tree_(tree), index_(index) {
+  XVR_CHECK(tree.has_dewey()) << "TJFast needs extended Dewey codes";
+}
+
+std::vector<NodeId> TjFastEvaluator::Evaluate(
+    const TreePattern& pattern) const {
+  std::vector<NodeId> out;
+  if (pattern.empty() || tree_.size() == 0) {
+    return out;
+  }
+  const Decomposition d = Decompose(pattern);
+
+  // Count how many paths each query node lies on; nodes on >= 2 paths are
+  // the join keys.
+  std::unordered_map<TreePattern::NodeIndex, int> on_paths;
+  std::vector<std::vector<TreePattern::NodeIndex>> path_nodes(
+      d.paths.size());
+  for (size_t i = 0; i < d.paths.size(); ++i) {
+    // Recover the node chain of this path: it is the root chain of the
+    // first leaf mapped to it.
+    for (size_t li = 0; li < d.leaves.size(); ++li) {
+      if (d.leaf_to_path[li] == static_cast<int>(i)) {
+        path_nodes[i] = pattern.PathFromRoot(d.leaves[li]);
+        break;
+      }
+    }
+    for (TreePattern::NodeIndex n : path_nodes[i]) {
+      ++on_paths[n];
+    }
+  }
+
+  // The answer node lies on the paths of the leaves below it; pick one such
+  // path as the primary output stream.
+  int primary = -1;
+  for (size_t i = 0; i < d.paths.size(); ++i) {
+    if (std::find(path_nodes[i].begin(), path_nodes[i].end(),
+                  pattern.answer()) != path_nodes[i].end()) {
+      primary = static_cast<int>(i);
+      break;
+    }
+  }
+  XVR_CHECK(primary >= 0) << "answer node not on any root-to-leaf path";
+
+  // Build per-path streams.
+  std::vector<PathStream> streams(d.paths.size());
+  const Fst* fst = tree_.fst();
+  for (size_t i = 0; i < d.paths.size(); ++i) {
+    PathStream& stream = streams[i];
+    for (size_t pos = 0; pos < path_nodes[i].size(); ++pos) {
+      const TreePattern::NodeIndex n = path_nodes[i][pos];
+      const bool shared = on_paths[n] >= 2 && d.paths.size() > 1;
+      const bool is_answer = n == pattern.answer();
+      if (shared || (is_answer && static_cast<int>(i) == primary)) {
+        if (is_answer) {
+          stream.answer_slot = static_cast<int>(stream.sig_nodes.size());
+        }
+        stream.sig_nodes.push_back(n);
+        stream.sig_pos.push_back(pos);
+      }
+    }
+    // Scan the leaf's label stream.
+    const TreePattern::NodeIndex leaf = path_nodes[i].back();
+    const PathPattern& path = d.paths[i];
+    const std::vector<NodeId>& nodes =
+        pattern.label(leaf) == kWildcardLabel
+            ? index_.Nodes(kInvalidLabel)  // handled below
+            : index_.Nodes(pattern.label(leaf));
+    const bool wildcard_leaf = pattern.label(leaf) == kWildcardLabel;
+    const size_t total =
+        wildcard_leaf ? tree_.size() : nodes.size();
+    std::vector<LabelId> labels;
+    for (size_t k = 0; k < total; ++k) {
+      const NodeId node =
+          wildcard_leaf ? static_cast<NodeId>(k) : nodes[k];
+      const DeweyCode& code = tree_.dewey(node);
+      if (!fst->Decode(code.components(), &labels)) {
+        continue;
+      }
+      const std::vector<PathAssignment> assignments =
+          MatchPathOnLabels(path, labels, 256);
+      if (assignments.empty()) {
+        continue;
+      }
+      std::unordered_set<std::string> seen;
+      for (const PathAssignment& a : assignments) {
+        // Value predicates on path nodes: resolved against the concrete
+        // ancestors (attributes are not part of the encoding).
+        bool preds_ok = true;
+        for (size_t pos = 0; pos < path_nodes[i].size() && preds_ok; ++pos) {
+          const auto& pred =
+              pattern.node(path_nodes[i][pos]).value_pred;
+          if (!pred.has_value()) {
+            continue;
+          }
+          const NodeId at = AncestorAt(
+              tree_, node,
+              labels.size() - 1 - static_cast<size_t>(a[pos]));
+          const std::string* value =
+              at == kNullNode ? nullptr : tree_.attribute(at, pred->attribute);
+          preds_ok = value != nullptr && pred->Matches(*value);
+        }
+        if (!preds_ok) {
+          continue;
+        }
+        LeafMatch match;
+        match.prefixes.reserve(stream.sig_nodes.size());
+        for (size_t s = 0; s < stream.sig_nodes.size(); ++s) {
+          match.prefixes.push_back(
+              code.Prefix(static_cast<size_t>(a[stream.sig_pos[s]]) + 1));
+        }
+        const std::string key = KeyOf(match);
+        if (seen.insert(key).second) {
+          stream.keys.insert(key);
+          stream.matches.push_back(std::move(match));
+        }
+      }
+    }
+    if (stream.matches.empty()) {
+      return out;  // some required leaf has no embedding
+    }
+  }
+
+  // Join: for each primary match, all other paths must have a match that
+  // agrees on the shared prefixes. Because every non-primary path's sig
+  // nodes are exactly its shared nodes, a binding from the primary plus
+  // previously fixed paths resolves them by hash lookup; paths sharing
+  // nodes only among themselves fall back to scanning.
+  std::unordered_set<std::string> answer_codes;
+  std::unordered_map<TreePattern::NodeIndex, DeweyCode> binding;
+
+  // Non-primary paths in index order.
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (static_cast<int>(i) != primary) rest.push_back(i);
+  }
+
+  // Recursive satisfiability over the non-primary paths.
+  std::function<bool(size_t)> satisfiable = [&](size_t idx) -> bool {
+    if (idx >= rest.size()) {
+      return true;
+    }
+    const PathStream& stream = streams[rest[idx]];
+    // Fully bound?
+    bool fully = true;
+    std::string key;
+    for (TreePattern::NodeIndex n : stream.sig_nodes) {
+      auto it = binding.find(n);
+      if (it == binding.end()) {
+        fully = false;
+        break;
+      }
+      key += it->second.ToString();
+      key.push_back('|');
+    }
+    if (fully) {
+      return stream.keys.count(key) > 0 && satisfiable(idx + 1);
+    }
+    for (const LeafMatch& match : stream.matches) {
+      bool consistent = true;
+      std::vector<TreePattern::NodeIndex> bound;
+      for (size_t s = 0; s < stream.sig_nodes.size() && consistent; ++s) {
+        auto it = binding.find(stream.sig_nodes[s]);
+        if (it == binding.end()) {
+          binding.emplace(stream.sig_nodes[s], match.prefixes[s]);
+          bound.push_back(stream.sig_nodes[s]);
+        } else if (!(it->second == match.prefixes[s])) {
+          consistent = false;
+        }
+      }
+      if (consistent && satisfiable(idx + 1)) {
+        for (TreePattern::NodeIndex n : bound) binding.erase(n);
+        return true;
+      }
+      for (TreePattern::NodeIndex n : bound) binding.erase(n);
+    }
+    return false;
+  };
+
+  const PathStream& primary_stream = streams[static_cast<size_t>(primary)];
+  XVR_CHECK(primary_stream.answer_slot >= 0);
+  for (const LeafMatch& match : primary_stream.matches) {
+    binding.clear();
+    for (size_t s = 0; s < primary_stream.sig_nodes.size(); ++s) {
+      binding.emplace(primary_stream.sig_nodes[s], match.prefixes[s]);
+    }
+    if (satisfiable(0)) {
+      answer_codes.insert(
+          match.prefixes[static_cast<size_t>(primary_stream.answer_slot)]
+              .ToString());
+    }
+  }
+
+  // Resolve answer codes back to node ids.
+  for (const std::string& text : answer_codes) {
+    DeweyCode code;
+    XVR_CHECK(DeweyCode::FromString(text, &code));
+    const NodeId node = tree_.FindByDewey(code);
+    if (node != kNullNode) {
+      out.push_back(node);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xvr

@@ -1,0 +1,40 @@
+#ifndef XVR_EXEC_TJFAST_H_
+#define XVR_EXEC_TJFAST_H_
+
+// TJFast-style pattern evaluation on extended Dewey codes (the paper's
+// reference [22], Lu et al.; §V notes the multi-view join is "similar to
+// TJFast"). Only the streams of the pattern's LEAF labels are scanned; each
+// leaf code is decoded to its label path by the FST and matched against the
+// root-to-leaf path pattern, and the streams of different leaves are joined
+// on the Dewey prefixes of shared branching nodes — the same machinery the
+// multi-view rewriter uses on fragment roots.
+//
+// Exposed as a third base-data strategy (BT) and cross-validated against
+// the direct evaluator; it shares the prefix-assignment and signature-join
+// primitives with rewrite/.
+
+#include <vector>
+
+#include "exec/node_index.h"
+#include "pattern/tree_pattern.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+class TjFastEvaluator {
+ public:
+  // The tree must have Dewey codes assigned; `index` supplies the per-label
+  // streams (document order) and must be built over the same tree.
+  TjFastEvaluator(const XmlTree& tree, const NodeIndex& index);
+
+  // All images of RET(pattern), sorted by node id, deduplicated.
+  std::vector<NodeId> Evaluate(const TreePattern& pattern) const;
+
+ private:
+  const XmlTree& tree_;
+  const NodeIndex& index_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_EXEC_TJFAST_H_

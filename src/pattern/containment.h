@@ -1,0 +1,48 @@
+#ifndef XVR_PATTERN_CONTAINMENT_H_
+#define XVR_PATTERN_CONTAINMENT_H_
+
+// Tree pattern containment (paper §II / §III-A).
+//
+// P ⊑ P' iff P(D) implies P'(D) for every database D (boolean semantics,
+// answer nodes ignored). Three testers are provided:
+//
+//  * ContainsByHomomorphism — PTIME, sound but incomplete in general;
+//    complete when the container is a path pattern (Theorem 3.1).
+//  * PathContains — containment between two path patterns: both sides are
+//    normalized first (§III-C), then checked by homomorphism. This is the
+//    test VFILTER realizes as an automaton.
+//  * ContainsCanonical — the complete coNP test via canonical models
+//    (Miklau & Suciu, the paper's [14][15]). Exponential in the number of
+//    //-edges of the contained pattern; intended for tests, verification
+//    and the Fig. 10 utility measurements on small patterns. Patterns with
+//    value predicates are not supported here.
+
+#include "pattern/path_pattern.h"
+#include "pattern/tree_pattern.h"
+#include "xml/label_dict.h"
+
+namespace xvr {
+
+// True iff a homomorphism container -> containee exists, witnessing
+// containee ⊑ container.
+bool ContainsByHomomorphism(const TreePattern& container,
+                            const TreePattern& containee);
+
+// containee ⊑ container for path patterns (complete; normalizes internally).
+bool PathContains(const PathPattern& container, const PathPattern& containee);
+
+// Complete containment containee ⊑ container by enumerating canonical
+// models of `containee` and evaluating `container` on each. `dict` must be
+// the dictionary the patterns were parsed with (a fresh scratch label is
+// interned). Exponential; keep patterns small.
+bool ContainsCanonical(const TreePattern& container,
+                       const TreePattern& containee, LabelDict* dict);
+
+// Both-way containment.
+bool EquivalentByHomomorphism(const TreePattern& a, const TreePattern& b);
+bool EquivalentCanonical(const TreePattern& a, const TreePattern& b,
+                         LabelDict* dict);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_CONTAINMENT_H_

@@ -1,0 +1,164 @@
+#include "pattern/evaluate.h"
+
+#include "common/logging.h"
+
+namespace xvr {
+namespace {
+
+// Shared bottom-up satisfaction pass. sat[p][x] == 1 iff the pattern subtree
+// rooted at p embeds into the tree with p -> x.
+class PatternEvaluator {
+ public:
+  PatternEvaluator(const TreePattern& pattern, const XmlTree& tree)
+      : p_(pattern), t_(tree), n_(tree.size()) {
+    sat_.assign(p_.size(), {});
+    ComputeSat();
+  }
+
+  // Images of the pattern root across all embeddings (anchor applied).
+  std::vector<uint8_t> RootImages() const {
+    std::vector<uint8_t> reach(n_, 0);
+    if (p_.empty() || n_ == 0) {
+      return reach;
+    }
+    const auto& root_sat = sat_[static_cast<size_t>(p_.root())];
+    if (p_.axis(p_.root()) == Axis::kChild) {
+      reach[0] = root_sat[0];
+    } else {
+      reach = root_sat;
+    }
+    return reach;
+  }
+
+  // Top-down propagation from images of `parent` to images of `child`.
+  std::vector<uint8_t> Propagate(const std::vector<uint8_t>& parent_reach,
+                                 TreePattern::NodeIndex child) const {
+    std::vector<uint8_t> reach(n_, 0);
+    const auto& child_sat = sat_[static_cast<size_t>(child)];
+    if (p_.axis(child) == Axis::kChild) {
+      for (size_t x = 1; x < n_; ++x) {
+        const NodeId parent = t_.node(static_cast<NodeId>(x)).parent;
+        if (child_sat[x] && parent_reach[static_cast<size_t>(parent)]) {
+          reach[x] = 1;
+        }
+      }
+    } else {
+      // anc[x] = some proper ancestor of x is in parent_reach. Node ids are
+      // assigned so parents precede children, so a forward scan works.
+      std::vector<uint8_t> anc(n_, 0);
+      for (size_t x = 1; x < n_; ++x) {
+        const auto parent =
+            static_cast<size_t>(t_.node(static_cast<NodeId>(x)).parent);
+        anc[x] = static_cast<uint8_t>(anc[parent] | parent_reach[parent]);
+        if (child_sat[x] && anc[x]) {
+          reach[x] = 1;
+        }
+      }
+    }
+    return reach;
+  }
+
+  const TreePattern& pattern() const { return p_; }
+
+ private:
+  bool NodeMatches(TreePattern::NodeIndex pn, NodeId x) const {
+    const PatternNode& node = p_.node(pn);
+    if (node.label != kWildcardLabel && node.label != t_.label(x)) {
+      return false;
+    }
+    if (node.value_pred.has_value()) {
+      const std::string* value = t_.attribute(x, node.value_pred->attribute);
+      if (value == nullptr || !node.value_pred->Matches(*value)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void ComputeSat() {
+    if (n_ == 0) {
+      return;
+    }
+    // Children of a pattern node always have larger indices, so a reverse
+    // scan is bottom-up.
+    for (size_t pi = p_.size(); pi-- > 0;) {
+      const auto pn = static_cast<TreePattern::NodeIndex>(pi);
+      std::vector<uint8_t>& mine = sat_[pi];
+      mine.assign(n_, 0);
+      for (size_t x = 0; x < n_; ++x) {
+        mine[x] = NodeMatches(pn, static_cast<NodeId>(x)) ? 1 : 0;
+      }
+      for (TreePattern::NodeIndex pc : p_.node(pn).children) {
+        const auto& csat = sat_[static_cast<size_t>(pc)];
+        std::vector<uint8_t> ok(n_, 0);
+        if (p_.axis(pc) == Axis::kChild) {
+          // ok[x] = some child y of x satisfies pc.
+          for (size_t y = 1; y < n_; ++y) {
+            if (csat[y]) {
+              ok[static_cast<size_t>(t_.node(static_cast<NodeId>(y)).parent)] =
+                  1;
+            }
+          }
+        } else {
+          // ok[x] = some proper descendant y of x satisfies pc. A reverse
+          // scan computes self_or_desc bottom-up (node ids grow downward)
+          // and folds each node's value into its parent's ok.
+          std::vector<uint8_t> self_or_desc = csat;
+          for (size_t y = n_; y-- > 1;) {
+            const auto parent =
+                static_cast<size_t>(t_.node(static_cast<NodeId>(y)).parent);
+            self_or_desc[parent] =
+                static_cast<uint8_t>(self_or_desc[parent] | self_or_desc[y]);
+            ok[parent] = static_cast<uint8_t>(ok[parent] | self_or_desc[y]);
+          }
+        }
+        for (size_t x = 0; x < n_; ++x) {
+          mine[x] = static_cast<uint8_t>(mine[x] & ok[x]);
+        }
+      }
+    }
+  }
+
+  const TreePattern& p_;
+  const XmlTree& t_;
+  const size_t n_;
+  std::vector<std::vector<uint8_t>> sat_;
+};
+
+}  // namespace
+
+std::vector<NodeId> EvaluatePattern(const TreePattern& pattern,
+                                    const XmlTree& tree) {
+  std::vector<NodeId> out;
+  if (pattern.empty() || tree.size() == 0) {
+    return out;
+  }
+  PatternEvaluator eval(pattern, tree);
+  // Walk the root-to-answer chain, propagating reachability.
+  std::vector<uint8_t> reach = eval.RootImages();
+  const std::vector<TreePattern::NodeIndex> chain =
+      pattern.PathFromRoot(pattern.answer());
+  for (size_t i = 1; i < chain.size(); ++i) {
+    reach = eval.Propagate(reach, chain[i]);
+  }
+  for (size_t x = 0; x < tree.size(); ++x) {
+    if (reach[x]) {
+      out.push_back(static_cast<NodeId>(x));
+    }
+  }
+  return out;
+}
+
+bool MatchesPattern(const TreePattern& pattern, const XmlTree& tree) {
+  if (pattern.empty() || tree.size() == 0) {
+    return false;
+  }
+  PatternEvaluator eval(pattern, tree);
+  const std::vector<uint8_t> reach = eval.RootImages();
+  for (uint8_t r : reach) {
+    if (r) return true;
+  }
+  return false;
+}
+
+}  // namespace xvr

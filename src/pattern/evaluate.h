@@ -1,0 +1,32 @@
+#ifndef XVR_PATTERN_EVALUATE_H_
+#define XVR_PATTERN_EVALUATE_H_
+
+// Direct evaluation of tree patterns on an XmlTree.
+//
+// An embedding f maps pattern nodes to tree nodes such that labels are
+// compatible (pattern '*' matches anything), /-edges map to parent/child
+// pairs, //-edges to proper ancestor/descendant pairs, a kChild-anchored
+// root maps to the document root, and value predicates hold on attributes.
+//
+// EvaluatePattern returns every tree node that is the image of the answer
+// node in at least one embedding. This is the semantics ground truth used by
+// the materializer, by the canonical-model containment test, and by the
+// end-to-end tests of the rewriter. Runs in O(|P| * |T|).
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+// All images of RET(pattern), in document (node-id) order, deduplicated.
+std::vector<NodeId> EvaluatePattern(const TreePattern& pattern,
+                                    const XmlTree& tree);
+
+// The boolean P(D) of the paper: true iff any embedding exists.
+bool MatchesPattern(const TreePattern& pattern, const XmlTree& tree);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_EVALUATE_H_

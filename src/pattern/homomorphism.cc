@@ -1,0 +1,224 @@
+#include "pattern/homomorphism.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xvr {
+namespace {
+const std::vector<TreePattern::NodeIndex> kEmpty;
+}  // namespace
+
+HomomorphismMatcher::HomomorphismMatcher(const TreePattern& p,
+                                         const TreePattern& q)
+    : p_(p), q_(q) {
+  const size_t np = p_.size();
+  const size_t nq = q_.size();
+  sub_.assign(np, std::vector<bool>(nq, false));
+  poss_.assign(np, {});
+  if (np == 0 || nq == 0) {
+    return;
+  }
+
+  // Post-order over P (children have higher indices than parents in our
+  // builder, so a reverse index scan is a valid bottom-up order).
+  for (size_t pi = np; pi-- > 0;) {
+    const auto pn = static_cast<TreePattern::NodeIndex>(pi);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const auto qn = static_cast<TreePattern::NodeIndex>(qi);
+      if (!LabelCompatible(pn, qn)) {
+        continue;
+      }
+      bool ok = true;
+      for (TreePattern::NodeIndex pc : p_.node(pn).children) {
+        bool found = false;
+        if (p_.axis(pc) == Axis::kChild) {
+          // A /-edge of P must map onto a /-edge of Q.
+          for (TreePattern::NodeIndex qc : q_.node(qn).children) {
+            if (q_.axis(qc) == Axis::kChild && Sub(pc, qc)) {
+              found = true;
+              break;
+            }
+          }
+        } else {
+          // Proper descendant of qn in Q.
+          for (size_t qd = 0; qd < nq && !found; ++qd) {
+            const auto qdn = static_cast<TreePattern::NodeIndex>(qd);
+            if (qdn != qn && q_.IsAncestorOrSelf(qn, qdn) && Sub(pc, qdn)) {
+              found = true;
+            }
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      sub_[pi][qi] = ok;
+    }
+  }
+
+  // Root anchoring.
+  const TreePattern::NodeIndex proot = p_.root();
+  if (p_.axis(proot) == Axis::kChild) {
+    if (q_.axis(q_.root()) == Axis::kChild && Sub(proot, q_.root())) {
+      poss_[static_cast<size_t>(proot)].push_back(q_.root());
+    }
+  } else {
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (Sub(proot, static_cast<TreePattern::NodeIndex>(qi))) {
+        poss_[static_cast<size_t>(proot)].push_back(
+            static_cast<TreePattern::NodeIndex>(qi));
+      }
+    }
+  }
+  exists_ = !poss_[static_cast<size_t>(proot)].empty();
+  if (!exists_) {
+    return;
+  }
+
+  // Top-down refinement: q is a possible image of p iff sub_[p][q] holds and
+  // q relates correctly to some possible image of p's parent. Sibling
+  // subtrees are independent, so this is exact.
+  std::vector<bool> parent_poss(nq, false);
+  for (size_t pi = 1; pi < np; ++pi) {
+    const auto pn = static_cast<TreePattern::NodeIndex>(pi);
+    const TreePattern::NodeIndex pp = p_.node(pn).parent;
+    parent_poss.assign(nq, false);
+    for (TreePattern::NodeIndex qn : poss_[static_cast<size_t>(pp)]) {
+      parent_poss[static_cast<size_t>(qn)] = true;
+    }
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (!sub_[pi][qi]) {
+        continue;
+      }
+      const auto qn = static_cast<TreePattern::NodeIndex>(qi);
+      bool anchored = false;
+      if (p_.axis(pn) == Axis::kChild) {
+        const TreePattern::NodeIndex qp = q_.node(qn).parent;
+        anchored = (qp != TreePattern::kNoNode &&
+                    q_.axis(qn) == Axis::kChild &&
+                    parent_poss[static_cast<size_t>(qp)]);
+      } else {
+        for (TreePattern::NodeIndex qa = q_.node(qn).parent;
+             qa != TreePattern::kNoNode; qa = q_.node(qa).parent) {
+          if (parent_poss[static_cast<size_t>(qa)]) {
+            anchored = true;
+            break;
+          }
+        }
+      }
+      if (anchored) {
+        poss_[pi].push_back(qn);
+      }
+    }
+  }
+}
+
+bool HomomorphismMatcher::LabelCompatible(TreePattern::NodeIndex pn,
+                                          TreePattern::NodeIndex qn) const {
+  const PatternNode& pnode = p_.node(pn);
+  const PatternNode& qnode = q_.node(qn);
+  if (pnode.label != kWildcardLabel && pnode.label != qnode.label) {
+    return false;
+  }
+  if (pnode.value_pred.has_value()) {
+    if (!qnode.value_pred.has_value() ||
+        !(*pnode.value_pred == *qnode.value_pred)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<TreePattern::NodeIndex>&
+HomomorphismMatcher::ImageCandidates(TreePattern::NodeIndex p_node) const {
+  if (!exists_) {
+    return kEmpty;
+  }
+  return poss_[static_cast<size_t>(p_node)];
+}
+
+// Recursive assignment of images for the subtree of P rooted at `pn`, with
+// h(pn) = qn already chosen. `pins[p]` != kNoNode forces h(p).
+bool HomomorphismMatcher::Assign(TreePattern::NodeIndex pn,
+                                 TreePattern::NodeIndex qn,
+                                 const NodeMapping& pins,
+                                 NodeMapping* mapping) const {
+  (*mapping)[static_cast<size_t>(pn)] = qn;
+  for (TreePattern::NodeIndex pc : p_.node(pn).children) {
+    const TreePattern::NodeIndex pin = pins[static_cast<size_t>(pc)];
+    bool done = false;
+    // Candidate images of pc below qn.
+    for (TreePattern::NodeIndex qc : poss_[static_cast<size_t>(pc)]) {
+      if (pin != TreePattern::kNoNode && qc != pin) {
+        continue;
+      }
+      if (p_.axis(pc) == Axis::kChild) {
+        if (q_.node(qc).parent != qn || q_.axis(qc) != Axis::kChild) {
+          continue;
+        }
+      } else {
+        if (qc == qn || !q_.IsAncestorOrSelf(qn, qc)) {
+          continue;
+        }
+      }
+      // Pinned nodes may live deeper in this subtree; try recursively and
+      // backtrack on failure.
+      if (Assign(pc, qc, pins, mapping)) {
+        done = true;
+        break;
+      }
+    }
+    if (!done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<NodeMapping> HomomorphismMatcher::Extract() const {
+  return ExtractWithPins({});
+}
+
+std::optional<NodeMapping> HomomorphismMatcher::ExtractWith(
+    TreePattern::NodeIndex p_node, TreePattern::NodeIndex q_node) const {
+  return ExtractWithPins({{p_node, q_node}});
+}
+
+std::optional<NodeMapping> HomomorphismMatcher::ExtractWithPins(
+    const std::vector<std::pair<TreePattern::NodeIndex,
+                                TreePattern::NodeIndex>>& pins_list) const {
+  if (!exists_) {
+    return std::nullopt;
+  }
+  NodeMapping pins(p_.size(), TreePattern::kNoNode);
+  for (const auto& [pn, qn] : pins_list) {
+    if (pn == TreePattern::kNoNode) {
+      continue;
+    }
+    TreePattern::NodeIndex& slot = pins[static_cast<size_t>(pn)];
+    if (slot != TreePattern::kNoNode && slot != qn) {
+      return std::nullopt;  // conflicting pins
+    }
+    slot = qn;
+  }
+  NodeMapping mapping(p_.size(), TreePattern::kNoNode);
+  const TreePattern::NodeIndex proot = p_.root();
+  const TreePattern::NodeIndex root_pin = pins[static_cast<size_t>(proot)];
+  for (TreePattern::NodeIndex qr : poss_[static_cast<size_t>(proot)]) {
+    if (root_pin != TreePattern::kNoNode && qr != root_pin) {
+      continue;
+    }
+    if (Assign(proot, qr, pins, &mapping)) {
+      return mapping;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ExistsHomomorphism(const TreePattern& p, const TreePattern& q) {
+  return HomomorphismMatcher(p, q).Exists();
+}
+
+}  // namespace xvr

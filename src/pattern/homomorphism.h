@@ -1,0 +1,80 @@
+#ifndef XVR_PATTERN_HOMOMORPHISM_H_
+#define XVR_PATTERN_HOMOMORPHISM_H_
+
+// Homomorphisms between tree patterns (paper §II).
+//
+// A homomorphism h from pattern P to pattern Q maps every node of P to a
+// node of Q such that
+//   * labels are compatible: LABEL(n) == '*' or LABEL(n) == LABEL(h(n)),
+//   * a /-edge (n1,n2) maps to a /-edge (h(n1), h(n2)) of Q,
+//   * a //-edge (n1,n2) maps so that h(n2) is a proper descendant of h(n1),
+//   * P's root anchor: a kChild-anchored root maps to Q's kChild-anchored
+//     root; a kDescendant-anchored root may map to any node of Q,
+//   * a node carrying a comparison predicate maps to a node carrying an
+//     equal predicate (the paper's attribute-predicate extension).
+//
+// The existence of a homomorphism P -> Q witnesses the containment Q ⊑ P
+// (sound always; complete when P is a path pattern — Theorem 3.1).
+//
+// Answer nodes are ignored here; view selection reasons about them
+// separately via leaf covers (selection/leaf_cover.h).
+
+#include <optional>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+
+namespace xvr {
+
+// h: index = node of P, value = node of Q.
+using NodeMapping = std::vector<TreePattern::NodeIndex>;
+
+class HomomorphismMatcher {
+ public:
+  // Both patterns must outlive the matcher.
+  HomomorphismMatcher(const TreePattern& p, const TreePattern& q);
+
+  // True iff any root-anchored homomorphism P -> Q exists.
+  bool Exists() const { return exists_; }
+
+  // All nodes of Q that are the image of `p_node` in at least one
+  // homomorphism (empty when none exists).
+  const std::vector<TreePattern::NodeIndex>& ImageCandidates(
+      TreePattern::NodeIndex p_node) const;
+
+  // Extracts one concrete homomorphism, optionally constrained to map
+  // `p_node` onto `q_node`. Returns nullopt if impossible.
+  std::optional<NodeMapping> Extract() const;
+  std::optional<NodeMapping> ExtractWith(TreePattern::NodeIndex p_node,
+                                         TreePattern::NodeIndex q_node) const;
+
+  // Extracts a homomorphism honoring several (P node -> Q node) pins at
+  // once. Pins on the same P node must agree.
+  std::optional<NodeMapping> ExtractWithPins(
+      const std::vector<std::pair<TreePattern::NodeIndex,
+                                  TreePattern::NodeIndex>>& pins) const;
+
+ private:
+  bool LabelCompatible(TreePattern::NodeIndex pn,
+                       TreePattern::NodeIndex qn) const;
+  bool Sub(TreePattern::NodeIndex pn, TreePattern::NodeIndex qn) const {
+    return sub_[static_cast<size_t>(pn)][static_cast<size_t>(qn)];
+  }
+  bool Assign(TreePattern::NodeIndex pn, TreePattern::NodeIndex qn,
+              const NodeMapping& pins, NodeMapping* mapping) const;
+
+  const TreePattern& p_;
+  const TreePattern& q_;
+  // sub_[p][q]: subtree of P rooted at p embeds with p -> q.
+  std::vector<std::vector<bool>> sub_;
+  // poss_[p]: images of p over all root-anchored homomorphisms.
+  std::vector<std::vector<TreePattern::NodeIndex>> poss_;
+  bool exists_ = false;
+};
+
+// Convenience: true iff a homomorphism from `p` to `q` exists.
+bool ExistsHomomorphism(const TreePattern& p, const TreePattern& q);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_HOMOMORPHISM_H_

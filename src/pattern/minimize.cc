@@ -1,0 +1,72 @@
+#include "pattern/minimize.h"
+
+#include "pattern/homomorphism.h"
+
+namespace xvr {
+namespace {
+
+// Wraps the branch entered by `child` (with its incoming axis) under a fresh
+// wildcard anchor so branches can be compared by plain homomorphism.
+TreePattern BranchPattern(const TreePattern& p, TreePattern::NodeIndex child) {
+  TreePattern out;
+  const TreePattern::NodeIndex anchor =
+      out.AddRoot(kAnchorLabel, Axis::kChild);
+  // Clone the subtree of `child`, keeping its incoming axis.
+  std::vector<std::pair<TreePattern::NodeIndex, TreePattern::NodeIndex>>
+      stack = {{child, anchor}};
+  while (!stack.empty()) {
+    const auto [old_i, new_parent] = stack.back();
+    stack.pop_back();
+    const PatternNode& node = p.node(old_i);
+    const TreePattern::NodeIndex new_i =
+        out.AddChild(new_parent, node.axis, node.label);
+    if (node.value_pred.has_value()) {
+      out.SetValuePredicate(new_i, *node.value_pred);
+    }
+    for (TreePattern::NodeIndex c : node.children) {
+      stack.emplace_back(c, new_i);
+    }
+  }
+  return out;
+}
+
+// One sweep: finds a redundant branch and removes it. Returns true if a
+// removal happened.
+bool RemoveOneRedundantBranch(TreePattern* p) {
+  for (size_t i = 0; i < p->size(); ++i) {
+    const auto n = static_cast<TreePattern::NodeIndex>(i);
+    const auto& children = p->node(n).children;
+    if (children.size() < 2) {
+      continue;
+    }
+    for (TreePattern::NodeIndex c1 : children) {
+      if (p->IsAncestorOrSelf(c1, p->answer())) {
+        continue;  // never drop the branch holding the answer node
+      }
+      const TreePattern b1 = BranchPattern(*p, c1);
+      for (TreePattern::NodeIndex c2 : children) {
+        if (c1 == c2) {
+          continue;
+        }
+        const TreePattern b2 = BranchPattern(*p, c2);
+        if (ExistsHomomorphism(b1, b2)) {
+          p->RemoveSubtree(c1);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int MinimizePattern(TreePattern* pattern) {
+  int removed = 0;
+  while (RemoveOneRedundantBranch(pattern)) {
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace xvr

@@ -1,0 +1,24 @@
+#ifndef XVR_PATTERN_MINIMIZE_H_
+#define XVR_PATTERN_MINIMIZE_H_
+
+// Tree pattern minimization (paper §II, reference [24]).
+//
+// Removes redundant branches: a branch c1 under node n is redundant when a
+// sibling branch c2 implies it (a homomorphism maps the c1 branch into the
+// c2 branch, anchored at n), so deleting c1 yields an equivalent pattern.
+// The answer node's branch is never removed. This sibling-cover rule is
+// sound (equivalence preserving — verified against the canonical-model
+// test) though not guaranteed to reach the global minimum for patterns
+// mixing * and //; the paper likewise treats minimization as a pluggable
+// pre-pass that "may impact the efficiency but not the effectiveness".
+
+#include "pattern/tree_pattern.h"
+
+namespace xvr {
+
+// Minimizes in place; returns the number of branches removed.
+int MinimizePattern(TreePattern* pattern);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_MINIMIZE_H_

@@ -1,0 +1,115 @@
+#include "pattern/normalize.h"
+
+namespace xvr {
+
+PathPattern NormalizePath(const PathPattern& path) {
+  PathPattern out = path;
+  auto& steps = out.steps();
+  // A step joins a wildcard run only when it is a bare '*': a predicated
+  // wildcard is anchored to its position and must not move.
+  const auto is_run_wildcard = [&steps](size_t k) {
+    return steps[k].label == kWildcardLabel && !steps[k].pred.has_value();
+  };
+  size_t i = 0;
+  while (i < steps.size()) {
+    if (!is_run_wildcard(i)) {
+      ++i;
+      continue;
+    }
+    // Maximal wildcard run [i, j).
+    size_t j = i;
+    while (j < steps.size() && is_run_wildcard(j)) {
+      ++j;
+    }
+    // The run's edges: those entering each wildcard plus the edge entering
+    // the following label (if the run is not at the end of the pattern).
+    const size_t edge_end = (j < steps.size()) ? j + 1 : j;
+    bool has_descendant = false;
+    for (size_t k = i; k < edge_end; ++k) {
+      if (steps[k].axis == Axis::kDescendant) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (has_descendant) {
+      steps[i].axis = Axis::kDescendant;
+      for (size_t k = i + 1; k < edge_end; ++k) {
+        steps[k].axis = Axis::kChild;
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+bool IsNormalizedPath(const PathPattern& path) {
+  return NormalizePath(path) == path;
+}
+
+void NormalizeTreePattern(TreePattern* pattern) {
+  if (pattern->empty()) {
+    return;
+  }
+  // Walk every node; when a node starts a pure wildcard chain, rewrite the
+  // axes of the chain (plus the edge into the single follower, if any).
+  const auto is_chain_wildcard = [&](TreePattern::NodeIndex n) {
+    const PatternNode& pn = pattern->node(n);
+    return pn.label == kWildcardLabel && pn.children.size() <= 1 &&
+           !pn.value_pred.has_value() && n != pattern->answer();
+  };
+
+  std::vector<TreePattern::NodeIndex> order;
+  order.reserve(pattern->size());
+  for (size_t i = 0; i < pattern->size(); ++i) {
+    order.push_back(static_cast<TreePattern::NodeIndex>(i));
+  }
+
+  std::vector<bool> in_chain(pattern->size(), false);
+  for (TreePattern::NodeIndex n : order) {
+    if (in_chain[static_cast<size_t>(n)] || !is_chain_wildcard(n)) {
+      continue;
+    }
+    // `n` could be in the middle of a chain; only start at chain heads (the
+    // parent is not a chain wildcard).
+    const TreePattern::NodeIndex parent = pattern->node(n).parent;
+    if (parent != TreePattern::kNoNode && is_chain_wildcard(parent)) {
+      continue;
+    }
+    // Collect the chain.
+    std::vector<TreePattern::NodeIndex> chain;
+    TreePattern::NodeIndex cur = n;
+    while (cur != TreePattern::kNoNode && is_chain_wildcard(cur)) {
+      chain.push_back(cur);
+      in_chain[static_cast<size_t>(cur)] = true;
+      const auto& children = pattern->node(cur).children;
+      cur = children.empty() ? TreePattern::kNoNode : children[0];
+    }
+    const TreePattern::NodeIndex follower = cur;  // may be kNoNode
+
+    // Edge list: into each chain node, plus into the follower.
+    bool has_descendant = false;
+    for (TreePattern::NodeIndex c : chain) {
+      if (pattern->axis(c) == Axis::kDescendant) has_descendant = true;
+    }
+    if (follower != TreePattern::kNoNode &&
+        pattern->axis(follower) == Axis::kDescendant) {
+      has_descendant = true;
+    }
+    if (!has_descendant) {
+      continue;
+    }
+    // First edge becomes //, all others /.
+    auto set_axis = [&](TreePattern::NodeIndex idx, Axis a) {
+      pattern->mutable_node(idx).axis = a;
+    };
+    set_axis(chain[0], Axis::kDescendant);
+    for (size_t k = 1; k < chain.size(); ++k) {
+      set_axis(chain[k], Axis::kChild);
+    }
+    if (follower != TreePattern::kNoNode) {
+      set_axis(follower, Axis::kChild);
+    }
+  }
+}
+
+}  // namespace xvr

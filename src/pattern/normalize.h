@@ -1,0 +1,37 @@
+#ifndef XVR_PATTERN_NORMALIZE_H_
+#define XVR_PATTERN_NORMALIZE_H_
+
+// Path pattern normalization N(P) (paper §III-C).
+//
+// For every maximal run of consecutive wildcard steps (bounded by non-*
+// labels, the pattern start, or the pattern end): if any edge of the run —
+// the edges entering each wildcard plus the edge entering the following
+// label, if one exists — is a descendant edge, the run is rewritten so that
+// its FIRST edge is the only descendant edge and all following edges are
+// child edges: l0 α1 * α2 * ... * αn+1 ln+1  ==>  l0 // * / * ... / * / ln+1.
+//
+// The rewritten pattern is equivalent (both forms only constrain the path
+// length between l0 and ln+1), and Proposition 3.2 guarantees equivalent
+// path patterns share one normal form, which eliminates the VFILTER false
+// negatives of Example 3.2/3.3.
+
+#include "pattern/path_pattern.h"
+#include "pattern/tree_pattern.h"
+
+namespace xvr {
+
+// Returns N(P).
+PathPattern NormalizePath(const PathPattern& path);
+
+// True if NormalizePath(path) == path.
+bool IsNormalizedPath(const PathPattern& path);
+
+// Normalizes every root-to-leaf path of a tree pattern in place. Branching
+// nodes delimit runs (a wildcard with more than one child, or with a value
+// predicate, is never rewritten away from its position — only edge axes
+// within pure chains change).
+void NormalizeTreePattern(TreePattern* pattern);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_NORMALIZE_H_

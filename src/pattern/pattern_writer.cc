@@ -1,0 +1,138 @@
+#include "pattern/pattern_writer.h"
+
+namespace xvr {
+namespace {
+
+const char* OpText(ValuePredicate::Op op) {
+  switch (op) {
+    case ValuePredicate::Op::kEq:
+      return "=";
+    case ValuePredicate::Op::kNe:
+      return "!=";
+    case ValuePredicate::Op::kLt:
+      return "<";
+    case ValuePredicate::Op::kLe:
+      return "<=";
+    case ValuePredicate::Op::kGt:
+      return ">";
+    case ValuePredicate::Op::kGe:
+      return ">=";
+  }
+  return "=";
+}
+
+class Writer {
+ public:
+  Writer(const TreePattern& pattern, const LabelDict& dict)
+      : pattern_(pattern), dict_(dict) {}
+
+  std::string Render() {
+    if (pattern_.empty()) {
+      return "";
+    }
+    // Nodes on the root-to-answer path form the main path; their other
+    // subtrees become predicates.
+    on_main_path_.assign(pattern_.size(), false);
+    for (TreePattern::NodeIndex n :
+         pattern_.PathFromRoot(pattern_.answer())) {
+      on_main_path_[static_cast<size_t>(n)] = true;
+    }
+    std::string out;
+    RenderMainPath(pattern_.root(), &out);
+    return out;
+  }
+
+ private:
+  void AppendAxis(TreePattern::NodeIndex n, std::string* out) {
+    out->append(pattern_.axis(n) == Axis::kChild ? "/" : "//");
+  }
+
+  void AppendStep(TreePattern::NodeIndex n, std::string* out) {
+    out->append(dict_.Name(pattern_.label(n)));
+    if (const auto& pred = pattern_.node(n).value_pred; pred.has_value()) {
+      out->append("[@");
+      out->append(pred->attribute);
+      out->append(" ");
+      out->append(OpText(pred->op));
+      out->append(" \"");
+      out->append(pred->value);
+      out->append("\"]");
+    }
+  }
+
+  // Renders node `n` (on the main path), its predicates, then continues to
+  // the main-path child.
+  void RenderMainPath(TreePattern::NodeIndex n, std::string* out) {
+    AppendAxis(n, out);
+    AppendStep(n, out);
+    TreePattern::NodeIndex next = TreePattern::kNoNode;
+    for (TreePattern::NodeIndex c : pattern_.node(n).children) {
+      if (on_main_path_[static_cast<size_t>(c)]) {
+        next = c;
+      } else {
+        out->push_back('[');
+        RenderPredicatePath(c, out);
+        out->push_back(']');
+      }
+    }
+    if (next != TreePattern::kNoNode) {
+      RenderMainPath(next, out);
+    }
+  }
+
+  // Renders a predicate subtree: ".//a[b]/c" style (leading '.' only for
+  // descendant edges to disambiguate from absolute paths).
+  void RenderPredicatePath(TreePattern::NodeIndex n, std::string* out) {
+    if (pattern_.axis(n) == Axis::kDescendant) {
+      out->append(".//");
+    }
+    AppendStep(n, out);
+    bool first = true;
+    std::string tail;
+    for (TreePattern::NodeIndex c : pattern_.node(n).children) {
+      if (first && pattern_.axis(c) == Axis::kChild) {
+        // Continue the chain for the first child-axis child; others become
+        // bracketed predicates.
+        first = false;
+        tail.push_back('/');
+        RenderChain(c, &tail);
+      } else {
+        out->push_back('[');
+        RenderPredicatePath(c, out);
+        out->push_back(']');
+      }
+    }
+    out->append(tail);
+  }
+
+  void RenderChain(TreePattern::NodeIndex n, std::string* out) {
+    AppendStep(n, out);
+    bool first = true;
+    std::string tail;
+    for (TreePattern::NodeIndex c : pattern_.node(n).children) {
+      if (first && pattern_.axis(c) == Axis::kChild) {
+        first = false;
+        tail.push_back('/');
+        RenderChain(c, &tail);
+      } else {
+        out->push_back('[');
+        RenderPredicatePath(c, out);
+        out->push_back(']');
+      }
+    }
+    out->append(tail);
+  }
+
+  const TreePattern& pattern_;
+  const LabelDict& dict_;
+  std::vector<bool> on_main_path_;
+};
+
+}  // namespace
+
+std::string PatternToXPath(const TreePattern& pattern, const LabelDict& dict) {
+  Writer writer(pattern, dict);
+  return writer.Render();
+}
+
+}  // namespace xvr

@@ -1,0 +1,233 @@
+#include "pattern/xpath_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xvr {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.' || c == ':';
+}
+
+class XPathParser {
+ public:
+  XPathParser(std::string_view text, LabelDict* dict)
+      : text_(text), dict_(dict) {}
+
+  Result<TreePattern> Parse() {
+    SkipSpace();
+    Axis anchor = Axis::kChild;
+    if (TryConsume("//")) {
+      anchor = Axis::kDescendant;
+    } else {
+      TryConsume("/");  // optional leading '/'
+    }
+    TreePattern pattern;
+    TreePattern::NodeIndex last = TreePattern::kNoNode;
+    Status s = ParseSteps(&pattern, TreePattern::kNoNode, anchor, &last);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing characters");
+    }
+    pattern.SetAnswer(last);
+    return pattern;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_) +
+                              " in \"" + std::string(text_) + "\"");
+  }
+
+  // Parses Step (('/' | '//') Step)* attaching under `parent` with the given
+  // axis for the first step. `*last` receives the last main-path node.
+  Status ParseSteps(TreePattern* pattern, TreePattern::NodeIndex parent,
+                    Axis first_axis, TreePattern::NodeIndex* last) {
+    Axis axis = first_axis;
+    TreePattern::NodeIndex cur = parent;
+    for (;;) {
+      TreePattern::NodeIndex step = TreePattern::kNoNode;
+      XVR_RETURN_IF_ERROR(ParseStep(pattern, cur, axis, &step));
+      cur = step;
+      SkipSpace();
+      if (TryConsume("//")) {
+        axis = Axis::kDescendant;
+      } else if (Peek() == '/') {
+        ++pos_;
+        axis = Axis::kChild;
+      } else {
+        break;
+      }
+    }
+    *last = cur;
+    return Status::Ok();
+  }
+
+  Status ParseStep(TreePattern* pattern, TreePattern::NodeIndex parent,
+                   Axis axis, TreePattern::NodeIndex* out) {
+    SkipSpace();
+    LabelId label = kInvalidLabel;
+    if (TryConsume("*")) {
+      label = kWildcardLabel;
+    } else if (IsNameStart(Peek())) {
+      const size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+        ++pos_;
+      }
+      label = dict_->Intern(text_.substr(start, pos_ - start));
+    } else {
+      return Error("expected element name or '*'");
+    }
+    const TreePattern::NodeIndex node =
+        (parent == TreePattern::kNoNode)
+            ? pattern->AddRoot(label, axis)
+            : pattern->AddChild(parent, axis, label);
+    // Predicates.
+    for (;;) {
+      SkipSpace();
+      if (!TryConsume("[")) {
+        break;
+      }
+      XVR_RETURN_IF_ERROR(ParsePredicate(pattern, node));
+      SkipSpace();
+      if (!TryConsume("]")) {
+        return Error("expected ']'");
+      }
+    }
+    *out = node;
+    return Status::Ok();
+  }
+
+  Status ParsePredicate(TreePattern* pattern, TreePattern::NodeIndex node) {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Error("predicates nested too deeply");
+    }
+    const Status status = ParsePredicateInner(pattern, node);
+    --depth_;
+    return status;
+  }
+
+  Status ParsePredicateInner(TreePattern* pattern,
+                             TreePattern::NodeIndex node) {
+    SkipSpace();
+    if (Peek() == '@') {
+      return ParseAttrComparison(pattern, node);
+    }
+    Axis axis = Axis::kChild;
+    TryConsume(".");  // optional leading '.'
+    if (TryConsume("//")) {
+      axis = Axis::kDescendant;
+    } else {
+      TryConsume("/");  // optional '/'
+    }
+    TreePattern::NodeIndex ignored = TreePattern::kNoNode;
+    return ParseSteps(pattern, node, axis, &ignored);
+  }
+
+  Status ParseAttrComparison(TreePattern* pattern,
+                             TreePattern::NodeIndex node) {
+    if (!TryConsume("@")) {
+      return Error("expected '@'");
+    }
+    if (!IsNameStart(Peek())) {
+      return Error("expected attribute name");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+      ++pos_;
+    }
+    ValuePredicate pred;
+    pred.attribute = std::string(text_.substr(start, pos_ - start));
+    SkipSpace();
+    if (TryConsume("!=")) {
+      pred.op = ValuePredicate::Op::kNe;
+    } else if (TryConsume("<=")) {
+      pred.op = ValuePredicate::Op::kLe;
+    } else if (TryConsume(">=")) {
+      pred.op = ValuePredicate::Op::kGe;
+    } else if (TryConsume("<")) {
+      pred.op = ValuePredicate::Op::kLt;
+    } else if (TryConsume(">")) {
+      pred.op = ValuePredicate::Op::kGt;
+    } else if (TryConsume("=")) {
+      pred.op = ValuePredicate::Op::kEq;
+    } else {
+      return Error("expected comparison operator");
+    }
+    SkipSpace();
+    const char quote = Peek();
+    if (quote == '"' || quote == '\'') {
+      ++pos_;
+      const size_t vstart = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        ++pos_;
+      }
+      if (pos_ == text_.size()) {
+        return Error("unterminated string literal");
+      }
+      pred.value = std::string(text_.substr(vstart, pos_ - vstart));
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(quote)) ||
+               quote == '-' || quote == '+') {
+      const size_t vstart = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      pred.value = std::string(text_.substr(vstart, pos_ - vstart));
+    } else {
+      return Error("expected literal");
+    }
+    if (pattern->node(node).value_pred.has_value()) {
+      return Error("node already has a comparison predicate");
+    }
+    pattern->SetValuePredicate(node, std::move(pred));
+    return Status::Ok();
+  }
+
+  static constexpr int kMaxNestingDepth = 256;
+
+  std::string_view text_;
+  LabelDict* dict_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<TreePattern> ParseXPath(std::string_view text, LabelDict* dict) {
+  if (Trim(text).empty()) {
+    return Status::ParseError("empty XPath expression");
+  }
+  XPathParser parser(text, dict);
+  return parser.Parse();
+}
+
+}  // namespace xvr

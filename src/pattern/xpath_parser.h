@@ -1,0 +1,37 @@
+#ifndef XVR_PATTERN_XPATH_PARSER_H_
+#define XVR_PATTERN_XPATH_PARSER_H_
+
+// Parser for the XPath fragment of the paper: child axis (/), descendant
+// axis (//), wildcards (*) and branches ([...]), plus the comparison
+// predicate extension on attributes.
+//
+// Grammar (whitespace insignificant between tokens):
+//
+//   Query     := ('/' | '//')? Steps            -- default anchor is '/'
+//   Steps     := Step (('/' | '//') Step)*
+//   Step      := NameTest Predicate*
+//   NameTest  := NAME | '*'
+//   Predicate := '[' PredExpr ']'
+//   PredExpr  := PathPred | AttrComp
+//   PathPred  := ('.')? ('/' | '//')? Steps     -- [b/c], [.//e], [//e]
+//   AttrComp  := '@' NAME Op Literal
+//   Op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   Literal   := NUMBER | '"' chars '"' | '\'' chars '\''
+//
+// The answer node is the last step of the main (non-predicate) path. Labels
+// are interned into the caller-supplied dictionary so that patterns and
+// documents share label ids.
+
+#include <string_view>
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "xml/label_dict.h"
+
+namespace xvr {
+
+Result<TreePattern> ParseXPath(std::string_view text, LabelDict* dict);
+
+}  // namespace xvr
+
+#endif  // XVR_PATTERN_XPATH_PARSER_H_

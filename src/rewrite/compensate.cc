@@ -1,0 +1,21 @@
+#include "rewrite/compensate.h"
+
+#include "common/logging.h"
+
+namespace xvr {
+
+TreePattern RefinementPattern(const TreePattern& query,
+                              TreePattern::NodeIndex q_star) {
+  TreePattern out = query.SubtreePattern(q_star);
+  out.SetAnswer(out.root());  // boolean use only
+  return out;
+}
+
+TreePattern ExtractionPattern(const TreePattern& query,
+                              TreePattern::NodeIndex q_star) {
+  XVR_CHECK(query.IsAncestorOrSelf(q_star, query.answer()))
+      << "extraction anchor must dominate the answer node";
+  return query.SubtreePattern(q_star);
+}
+
+}  // namespace xvr

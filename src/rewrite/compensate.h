@@ -1,0 +1,29 @@
+#ifndef XVR_REWRITE_COMPENSATE_H_
+#define XVR_REWRITE_COMPENSATE_H_
+
+// Compensating patterns (paper §V).
+//
+// For a selected view V with homomorphism h and anchor q* = h(RET(V)):
+//  * the refinement pattern is the subtree of Q rooted at q*, evaluated as a
+//    boolean anchored pattern on every fragment of V ("pushing selection":
+//    fragments that do not satisfy the query's predicates below q* are
+//    dropped before the join);
+//  * for the primary view (the one covering Δ), the extraction pattern is
+//    the same subtree with RET(Q) preserved as the answer node; it pulls the
+//    final result out of the joined fragments.
+
+#include "pattern/tree_pattern.h"
+
+namespace xvr {
+
+// Boolean compensating predicate anchored at q_star.
+TreePattern RefinementPattern(const TreePattern& query,
+                              TreePattern::NodeIndex q_star);
+
+// Extraction pattern: q_star must be an ancestor-or-self of RET(query).
+TreePattern ExtractionPattern(const TreePattern& query,
+                              TreePattern::NodeIndex q_star);
+
+}  // namespace xvr
+
+#endif  // XVR_REWRITE_COMPENSATE_H_

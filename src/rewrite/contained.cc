@@ -1,0 +1,56 @@
+#include "rewrite/contained.h"
+
+#include <algorithm>
+
+#include "pattern/homomorphism.h"
+
+namespace xvr {
+
+ContainedRewriteResult ContainedRewrite(
+    const TreePattern& query, const std::vector<int32_t>& candidate_ids,
+    const ViewLookup& lookup, const FragmentStore& store) {
+  ContainedRewriteResult result;
+  for (int32_t id : candidate_ids) {
+    const TreePattern* view = lookup(id);
+    const std::vector<Fragment>* fragments = store.GetView(id);
+    if (view == nullptr || fragments == nullptr) {
+      continue;
+    }
+    // Homomorphism g: Q -> V witnesses V ⊑ Q.
+    HomomorphismMatcher matcher(query, *view);
+    if (!matcher.Exists()) {
+      continue;
+    }
+    bool contributed = false;
+    for (TreePattern::NodeIndex image :
+         matcher.ImageCandidates(query.answer())) {
+      if (!view->IsAncestorOrSelf(view->answer(), image)) {
+        continue;  // the witness lies outside the materialized fragments
+      }
+      // Extract images of g(RET(Q)) from every fragment: the view subtree
+      // below RET(V), re-rooted, with the answer mark moved onto the
+      // witness node (SubtreePattern carries the answer mark across the
+      // clone).
+      TreePattern reanswered = *view;
+      reanswered.SetAnswer(image);
+      const TreePattern extraction =
+          reanswered.SubtreePattern(view->answer());
+      for (const Fragment& fragment : *fragments) {
+        for (int32_t node : fragment.EvaluateAnchored(extraction)) {
+          result.codes.push_back(fragment.AbsoluteCode(node));
+          contributed = true;
+        }
+      }
+    }
+    if (contributed) {
+      result.views_used.push_back(id);
+    }
+  }
+  std::sort(result.codes.begin(), result.codes.end());
+  result.codes.erase(std::unique(result.codes.begin(), result.codes.end()),
+                     result.codes.end());
+  std::sort(result.views_used.begin(), result.views_used.end());
+  return result;
+}
+
+}  // namespace xvr

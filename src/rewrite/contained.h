@@ -1,0 +1,41 @@
+#ifndef XVR_REWRITE_CONTAINED_H_
+#define XVR_REWRITE_CONTAINED_H_
+
+// Contained rewriting using views — the §VII future-work direction
+// ("maximal rewriting using multiple views in data integration").
+//
+// When no equivalent rewriting exists, views that are MORE restrictive than
+// the query can still contribute guaranteed-correct answers: if a
+// homomorphism g maps Q into V (witnessing V ⊑ Q) and g(RET(Q)) lies inside
+// V's materialized region (descendant-or-self of RET(V)), then every image
+// of g(RET(Q)) extracted from V's fragments is an answer of Q. The union
+// over contributing views is a sound subset of Q's result, computed from
+// fragments only.
+//
+// This implementation is sound but not guaranteed maximal (images of RET(Q)
+// above the materialized fragments are not used; their document positions
+// are not always derivable unambiguously from the encodings).
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "selection/answerability.h"
+#include "storage/fragment_store.h"
+#include "xml/dewey.h"
+
+namespace xvr {
+
+struct ContainedRewriteResult {
+  // Sound subset of the query's answers (deduplicated, document order).
+  std::vector<DeweyCode> codes;
+  // Views that contributed at least one answer.
+  std::vector<int32_t> views_used;
+};
+
+ContainedRewriteResult ContainedRewrite(
+    const TreePattern& query, const std::vector<int32_t>& candidate_ids,
+    const ViewLookup& lookup, const FragmentStore& store);
+
+}  // namespace xvr
+
+#endif  // XVR_REWRITE_CONTAINED_H_

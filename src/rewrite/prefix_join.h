@@ -1,0 +1,38 @@
+#ifndef XVR_REWRITE_PREFIX_JOIN_H_
+#define XVR_REWRITE_PREFIX_JOIN_H_
+
+// Matching a root path pattern against a concrete label path (decoded from
+// an extended Dewey code by the FST) — the "verify encodings" primitive of
+// the holistic fragment join (paper §V, Example 5.1).
+//
+// An assignment maps every step of the path pattern to a position (depth)
+// in the label path, monotonically: /-edges advance exactly one position,
+// //-edges at least one, labels must agree (wildcards match anything), and
+// the LAST pattern step is pinned to the LAST position (the fragment root
+// is the image of the pattern's end). The root anchor follows the pattern:
+// a kChild first step must sit at position 0.
+
+#include <vector>
+
+#include "pattern/path_pattern.h"
+#include "xml/label_dict.h"
+
+namespace xvr {
+
+// One assignment: positions[i] is the depth of pattern step i in the label
+// path; strictly increasing; positions.back() == path.size() - 1.
+using PathAssignment = std::vector<int>;
+
+// All assignments of `pattern` onto `labels`, capped at `max_assignments`
+// (0 = unlimited). Empty result means the label path does not match.
+std::vector<PathAssignment> MatchPathOnLabels(const PathPattern& pattern,
+                                              const std::vector<LabelId>& labels,
+                                              size_t max_assignments = 256);
+
+// Quick boolean form.
+bool PathMatchesLabels(const PathPattern& pattern,
+                       const std::vector<LabelId>& labels);
+
+}  // namespace xvr
+
+#endif  // XVR_REWRITE_PREFIX_JOIN_H_

@@ -1,0 +1,315 @@
+#include "rewrite/rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "rewrite/compensate.h"
+#include "rewrite/prefix_join.h"
+#include "rewrite/skeleton.h"
+
+namespace xvr {
+namespace {
+
+// One way a fragment can sit under the query skeleton: the Dewey prefixes it
+// assigns to the shared skeleton nodes on its view's path.
+struct Signature {
+  // Parallel to the view's shared-node list: prefix codes.
+  std::vector<DeweyCode> prefixes;
+
+  friend bool operator==(const Signature& a, const Signature& b) = default;
+};
+
+struct CandidateFragment {
+  const Fragment* fragment = nullptr;
+  std::vector<Signature> signatures;
+};
+
+struct ViewJoinData {
+  // Shared skeleton nodes on this view's path (ascending = root first).
+  std::vector<TreePattern::NodeIndex> shared_on_path;
+  // Index of each shared node within the view's root->q* path.
+  std::vector<size_t> shared_path_pos;
+  std::vector<CandidateFragment> fragments;
+  // Every full signature key ("prefix|prefix|...") with a usable fragment:
+  // O(1) satisfiability once all shared nodes are bound.
+  std::unordered_set<std::string> signature_keys;
+};
+
+std::string SignatureKey(const Signature& sig) {
+  std::string key;
+  for (const DeweyCode& prefix : sig.prefixes) {
+    key += prefix.ToString();
+    key.push_back('|');
+  }
+  return key;
+}
+
+// Binding of shared skeleton nodes to concrete prefixes during the join.
+using GlobalBinding =
+    std::unordered_map<TreePattern::NodeIndex, DeweyCode>;
+
+bool SignatureConsistent(const ViewJoinData& view, const Signature& sig,
+                         const GlobalBinding& binding) {
+  for (size_t i = 0; i < view.shared_on_path.size(); ++i) {
+    auto it = binding.find(view.shared_on_path[i]);
+    if (it != binding.end() && !(it->second == sig.prefixes[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BindSignature(const ViewJoinData& view, const Signature& sig,
+                   GlobalBinding* binding,
+                   std::vector<TreePattern::NodeIndex>* newly_bound) {
+  for (size_t i = 0; i < view.shared_on_path.size(); ++i) {
+    const TreePattern::NodeIndex node = view.shared_on_path[i];
+    if (binding->find(node) == binding->end()) {
+      binding->emplace(node, sig.prefixes[i]);
+      newly_bound->push_back(node);
+    }
+  }
+}
+
+// Can views[from..] each contribute one fragment consistent with `binding`?
+bool Satisfiable(const std::vector<const ViewJoinData*>& views, size_t from,
+                 GlobalBinding* binding) {
+  if (from == views.size()) {
+    return true;
+  }
+  // Prefer a view whose shared nodes are all bound: it resolves by one hash
+  // lookup and binds nothing new. In the common case (all views joining on
+  // nodes of the primary path) every view takes this path, making the join
+  // per primary fragment O(#views).
+  std::vector<const ViewJoinData*> remaining(views.begin() +
+                                                 static_cast<long>(from),
+                                             views.end());
+  for (size_t r = 0; r < remaining.size(); ++r) {
+    const ViewJoinData& view = *remaining[r];
+    bool fully_bound = true;
+    std::string key;
+    for (TreePattern::NodeIndex n : view.shared_on_path) {
+      auto it = binding->find(n);
+      if (it == binding->end()) {
+        fully_bound = false;
+        break;
+      }
+      key += it->second.ToString();
+      key.push_back('|');
+    }
+    if (!fully_bound) {
+      continue;
+    }
+    if (view.signature_keys.count(key) == 0) {
+      return false;  // no fragment of this view fits the binding
+    }
+    // Satisfied without new bindings; recurse on the rest.
+    std::vector<const ViewJoinData*> rest;
+    rest.reserve(views.size());
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (i != r) rest.push_back(remaining[i]);
+    }
+    return Satisfiable(rest, 0, binding);
+  }
+
+  // Fallback: the first remaining view has unbound shared nodes; try its
+  // fragments, binding as we go.
+  const ViewJoinData& view = *remaining.front();
+  std::vector<const ViewJoinData*> rest(remaining.begin() + 1,
+                                        remaining.end());
+  for (const CandidateFragment& cf : view.fragments) {
+    for (const Signature& sig : cf.signatures) {
+      if (!SignatureConsistent(view, sig, *binding)) {
+        continue;
+      }
+      std::vector<TreePattern::NodeIndex> bound;
+      BindSignature(view, sig, binding, &bound);
+      if (Satisfiable(rest, 0, binding)) {
+        for (TreePattern::NodeIndex n : bound) binding->erase(n);
+        return true;
+      }
+      for (TreePattern::NodeIndex n : bound) binding->erase(n);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+// Shared pipeline: refinement, join and extraction; every extracted answer
+// is reported through `emit(code, fragment, node)`.
+Status AnswerCore(
+    const TreePattern& query, const SelectionResult& selection,
+    const FragmentStore& store, const Fst& fst, RewriteStats* stats,
+    const RewriteOptions& options,
+    const std::function<void(DeweyCode, const Fragment&, int32_t)>& emit) {
+  RewriteStats local_stats;
+  RewriteStats* st = stats != nullptr ? stats : &local_stats;
+  *st = RewriteStats{};
+
+  const int primary = selection.PrimaryIndex();
+  if (primary < 0) {
+    return Status::InvalidArgument(
+        "selection has no view covering the answer node");
+  }
+  const Skeleton skeleton = BuildSkeleton(query, selection.views);
+
+  // Phase 1: per view, refine fragments and enumerate skeleton signatures.
+  std::vector<ViewJoinData> join_data(selection.views.size());
+  for (size_t vi = 0; vi < selection.views.size(); ++vi) {
+    const SelectedView& sel = selection.views[vi];
+    const std::vector<Fragment>* fragments = store.GetView(sel.view_id);
+    if (fragments == nullptr) {
+      return Status::NotFound("view " + std::to_string(sel.view_id) +
+                              " is not materialized");
+    }
+    const TreePattern::NodeIndex q_star = sel.cover.mapped_answer;
+    const TreePattern refinement = RefinementPattern(query, q_star);
+    const PathPattern anchor_path = PathTo(query, q_star);
+
+    ViewJoinData& data = join_data[vi];
+    const std::vector<TreePattern::NodeIndex>& path =
+        skeleton.view_paths[vi];
+    for (TreePattern::NodeIndex n : skeleton.shared) {
+      auto it = std::find(path.begin(), path.end(), n);
+      if (it != path.end()) {
+        data.shared_on_path.push_back(n);
+        data.shared_path_pos.push_back(
+            static_cast<size_t>(it - path.begin()));
+      }
+    }
+
+    for (const Fragment& fragment : *fragments) {
+      ++st->fragments_scanned;
+      std::vector<LabelId> labels;
+      if (!fst.Decode(fragment.root_code().components(), &labels)) {
+        return Status::Internal("fragment code does not decode: " +
+                                fragment.root_code().ToString());
+      }
+      const std::vector<PathAssignment> assignments = MatchPathOnLabels(
+          anchor_path, labels, options.max_assignments_per_fragment);
+      if (assignments.empty()) {
+        continue;  // the fragment root does not sit under Q's anchor path
+      }
+      if (!fragment.MatchesAnchored(refinement)) {
+        continue;  // compensating predicate fails inside the fragment
+      }
+      ++st->fragments_after_refinement;
+
+      CandidateFragment cf;
+      cf.fragment = &fragment;
+      std::unordered_set<std::string> seen;
+      for (const PathAssignment& a : assignments) {
+        Signature sig;
+        sig.prefixes.reserve(data.shared_on_path.size());
+        std::string key;
+        for (size_t s = 0; s < data.shared_on_path.size(); ++s) {
+          const int pos = a[data.shared_path_pos[s]];
+          DeweyCode prefix =
+              fragment.root_code().Prefix(static_cast<size_t>(pos) + 1);
+          key += prefix.ToString();
+          key.push_back('|');
+          sig.prefixes.push_back(std::move(prefix));
+        }
+        if (seen.insert(key).second) {
+          data.signature_keys.insert(SignatureKey(sig));
+          cf.signatures.push_back(std::move(sig));
+        }
+      }
+      data.fragments.push_back(std::move(cf));
+    }
+    if (data.fragments.empty()) {
+      return Status::Ok();  // some view has no usable fragment -> empty
+    }
+  }
+
+  // Phase 2: join. For each refined primary fragment, check that every other
+  // view can contribute a consistent fragment.
+  std::vector<const ViewJoinData*> others;
+  for (size_t vi = 0; vi < join_data.size(); ++vi) {
+    if (vi != static_cast<size_t>(primary)) {
+      others.push_back(&join_data[vi]);
+    }
+  }
+  // Cheaper views (fewer fragments) first prunes faster.
+  std::sort(others.begin(), others.end(),
+            [](const ViewJoinData* a, const ViewJoinData* b) {
+              return a->fragments.size() < b->fragments.size();
+            });
+
+  const ViewJoinData& primary_data = join_data[static_cast<size_t>(primary)];
+  const TreePattern extraction = ExtractionPattern(
+      query, selection.views[static_cast<size_t>(primary)].cover.mapped_answer);
+
+  GlobalBinding binding;
+  for (const CandidateFragment& cf : primary_data.fragments) {
+    bool supported = false;
+    for (const Signature& sig : cf.signatures) {
+      binding.clear();
+      std::vector<TreePattern::NodeIndex> bound;
+      BindSignature(primary_data, sig, &binding, &bound);
+      if (Satisfiable(others, 0, &binding)) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) {
+      continue;
+    }
+    ++st->join_survivors;
+    // Phase 3: extraction.
+    for (int32_t node : cf.fragment->EvaluateAnchored(extraction)) {
+      emit(cf.fragment->AbsoluteCode(node), *cf.fragment, node);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<DeweyCode>> AnswerWithViews(
+    const TreePattern& query, const SelectionResult& selection,
+    const FragmentStore& store, const Fst& fst, RewriteStats* stats,
+    const RewriteOptions& options) {
+  std::vector<DeweyCode> result;
+  XVR_RETURN_IF_ERROR(AnswerCore(
+      query, selection, store, fst, stats, options,
+      [&result](DeweyCode code, const Fragment&, int32_t) {
+        result.push_back(std::move(code));
+      }));
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+Result<std::vector<MaterializedAnswer>> AnswerWithViewsXml(
+    const TreePattern& query, const SelectionResult& selection,
+    const FragmentStore& store, const Fst& fst, const LabelDict& dict,
+    RewriteStats* stats, const RewriteOptions& options) {
+  std::vector<MaterializedAnswer> result;
+  XVR_RETURN_IF_ERROR(AnswerCore(
+      query, selection, store, fst, stats, options,
+      [&result, &dict](DeweyCode code, const Fragment& fragment,
+                       int32_t node) {
+        result.push_back(
+            MaterializedAnswer{std::move(code), fragment.ToXml(dict, node)});
+      }));
+  std::sort(result.begin(), result.end(),
+            [](const MaterializedAnswer& a, const MaterializedAnswer& b) {
+              return a.code < b.code;
+            });
+  result.erase(std::unique(result.begin(), result.end(),
+                           [](const MaterializedAnswer& a,
+                              const MaterializedAnswer& b) {
+                             return a.code == b.code;
+                           }),
+               result.end());
+  return result;
+}
+
+}  // namespace xvr

@@ -1,0 +1,65 @@
+#ifndef XVR_REWRITE_REWRITER_H_
+#define XVR_REWRITE_REWRITER_H_
+
+// Equivalent rewriting using multiple views (paper §V).
+//
+// Pipeline, given a query Q and a selected view set (selection module):
+//   1. Refinement ("pushing selection"): every fragment of every selected
+//      view is checked against the compensating predicate — the subtree of Q
+//      rooted at the view's anchor q_i* — and against the root path of Q up
+//      to q_i* (verified on the fragment's extended Dewey code via the FST,
+//      Example 2.1/5.1: no base data access).
+//   2. Holistic join: fragments of different views are combined only when
+//      their Dewey codes assign the same concrete document position (code
+//      prefix) to every shared skeleton node of Q.
+//   3. Extraction: the answer is pulled out of the primary view's surviving
+//      fragments with the extraction pattern.
+//
+// The result is the set of extended Dewey codes of the query answers, which
+// the end-to-end tests compare against direct evaluation on the base data.
+
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "selection/answerability.h"
+#include "storage/fragment_store.h"
+#include "xml/dewey.h"
+#include "xml/fst.h"
+
+namespace xvr {
+
+struct RewriteStats {
+  size_t fragments_scanned = 0;
+  size_t fragments_after_refinement = 0;
+  size_t join_survivors = 0;
+};
+
+struct RewriteOptions {
+  // Cap on path-match assignments enumerated per fragment (ambiguous //
+  // paths); 0 = unlimited.
+  size_t max_assignments_per_fragment = 256;
+};
+
+// Answers `query` from materialized fragments only. `fst` must be the
+// transducer of the document the fragments were materialized from.
+Result<std::vector<DeweyCode>> AnswerWithViews(
+    const TreePattern& query, const SelectionResult& selection,
+    const FragmentStore& store, const Fst& fst,
+    RewriteStats* stats = nullptr, const RewriteOptions& options = {});
+
+// Like AnswerWithViews, additionally materializing every answer's XML text
+// from the primary view's fragments (still no base-data access). The two
+// output vectors are parallel and sorted by code.
+struct MaterializedAnswer {
+  DeweyCode code;
+  std::string xml;
+};
+Result<std::vector<MaterializedAnswer>> AnswerWithViewsXml(
+    const TreePattern& query, const SelectionResult& selection,
+    const FragmentStore& store, const Fst& fst, const LabelDict& dict,
+    RewriteStats* stats = nullptr, const RewriteOptions& options = {});
+
+}  // namespace xvr
+
+#endif  // XVR_REWRITE_REWRITER_H_

@@ -1,0 +1,33 @@
+#include "rewrite/skeleton.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xvr {
+
+Skeleton BuildSkeleton(const TreePattern& query,
+                       const std::vector<SelectedView>& views) {
+  Skeleton out;
+  std::map<TreePattern::NodeIndex, int> view_count;
+  for (const SelectedView& v : views) {
+    std::vector<TreePattern::NodeIndex> path =
+        query.PathFromRoot(v.cover.mapped_answer);
+    for (TreePattern::NodeIndex n : path) {
+      ++view_count[n];
+    }
+    out.view_paths.push_back(std::move(path));
+  }
+  for (const auto& [node, count] : view_count) {
+    out.nodes.push_back(node);
+    if (count >= 2) {
+      out.shared.push_back(node);
+    }
+  }
+  // Node indices increase away from the root, so sorted order is
+  // parents-first.
+  std::sort(out.nodes.begin(), out.nodes.end());
+  std::sort(out.shared.begin(), out.shared.end());
+  return out;
+}
+
+}  // namespace xvr

@@ -1,0 +1,32 @@
+#ifndef XVR_REWRITE_SKELETON_H_
+#define XVR_REWRITE_SKELETON_H_
+
+// The query skeleton: the part of Q above the selected views' anchors that
+// the holistic join must witness consistently across views (paper §V).
+
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "selection/answerability.h"
+
+namespace xvr {
+
+struct Skeleton {
+  // Union of the root -> q_i* paths over all selected views (parents before
+  // children).
+  std::vector<TreePattern::NodeIndex> nodes;
+  // Skeleton nodes lying on at least two distinct views' anchor paths: the
+  // join keys. Every pair of views must agree on the concrete Dewey prefix
+  // of each shared node.
+  std::vector<TreePattern::NodeIndex> shared;
+  // Per selected view (same order as the selection): the root -> q_i* node
+  // chain.
+  std::vector<std::vector<TreePattern::NodeIndex>> view_paths;
+};
+
+Skeleton BuildSkeleton(const TreePattern& query,
+                       const std::vector<SelectedView>& views);
+
+}  // namespace xvr
+
+#endif  // XVR_REWRITE_SKELETON_H_

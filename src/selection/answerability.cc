@@ -1,0 +1,49 @@
+#include "selection/answerability.h"
+
+#include <algorithm>
+
+namespace xvr {
+
+bool CoversQuery(const LeafUniverse& universe,
+                 const std::vector<SelectedView>& views) {
+  uint64_t mask = 0;
+  for (const SelectedView& v : views) {
+    mask |= universe.MaskOf(v.cover);
+  }
+  return mask == universe.full_mask;
+}
+
+void RemoveRedundantViews(const LeafUniverse& universe,
+                          std::vector<SelectedView>* views) {
+  // Try dropping views starting from the smallest covers.
+  std::vector<size_t> order(views->size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return __builtin_popcountll(universe.MaskOf((*views)[a].cover)) <
+           __builtin_popcountll(universe.MaskOf((*views)[b].cover));
+  });
+  std::vector<bool> dropped(views->size(), false);
+  for (size_t i : order) {
+    uint64_t mask = 0;
+    for (size_t j = 0; j < views->size(); ++j) {
+      if (j == i || dropped[j]) {
+        continue;
+      }
+      mask |= universe.MaskOf((*views)[j].cover);
+    }
+    if (mask == universe.full_mask) {
+      dropped[i] = true;
+    }
+  }
+  std::vector<SelectedView> kept;
+  for (size_t j = 0; j < views->size(); ++j) {
+    if (!dropped[j]) {
+      kept.push_back(std::move((*views)[j]));
+    }
+  }
+  *views = std::move(kept);
+}
+
+}  // namespace xvr

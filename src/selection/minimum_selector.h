@@ -1,0 +1,29 @@
+#ifndef XVR_SELECTION_MINIMUM_SELECTOR_H_
+#define XVR_SELECTION_MINIMUM_SELECTOR_H_
+
+// Minimum multiple-view selection (paper §IV-B, "Finding a minimal
+// rewriting" / the MN and MV strategies of §VI).
+//
+// Computes a leaf cover for every candidate view (the expensive
+// homomorphism step the paper measures) and then finds a view set of
+// minimum cardinality whose covers union to LF(Q). The cover union lives in
+// a small bitmask universe (|LEAF(Q)|+1 bits), so an exact dynamic program
+// over subsets of LF(Q) — O(n · 2^|LF|) — replaces the naive O(2^n)
+// subset enumeration without changing the result.
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "selection/answerability.h"
+
+namespace xvr {
+
+// `candidate_ids`: the views to consider (all views for MN, the VFILTER
+// output for MV). Returns NOT_ANSWERABLE when no subset covers LF(Q).
+// `is_partial` marks codes-only views (see selection/leaf_cover.h).
+Result<SelectionResult> SelectMinimum(
+    const TreePattern& query, const std::vector<int32_t>& candidate_ids,
+    const ViewLookup& lookup, const PartialLookup& is_partial = nullptr);
+
+}  // namespace xvr
+
+#endif  // XVR_SELECTION_MINIMUM_SELECTOR_H_

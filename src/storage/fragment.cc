@@ -1,0 +1,387 @@
+#include "storage/fragment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/logging.h"
+#include "xml/xml_writer.h"
+
+namespace xvr {
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || pos_ + len > bytes_.size()) return false;
+    s->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Fragment Fragment::FromTree(const XmlTree& tree, NodeId root,
+                            bool codes_only) {
+  XVR_CHECK(tree.has_dewey()) << "assign Dewey codes before materializing";
+  Fragment out;
+  out.root_code_ = tree.dewey(root);
+
+  // DFS copy preserving document order of children.
+  std::vector<std::pair<NodeId, int32_t>> stack;  // (tree node, frag parent)
+  stack.emplace_back(root, -1);
+  while (!stack.empty()) {
+    const auto [tn, parent] = stack.back();
+    stack.pop_back();
+    const int32_t fi = static_cast<int32_t>(out.nodes_.size());
+    FragmentNode fn;
+    fn.label = tree.label(tn);
+    fn.parent = parent;
+    const DeweyCode& code = tree.dewey(tn);
+    fn.dewey_component = code.at(code.depth() - 1);
+    out.nodes_.push_back(std::move(fn));
+    if (parent >= 0) {
+      out.nodes_[static_cast<size_t>(parent)].children.push_back(fi);
+    }
+    if (const std::string* text = tree.text(tn)) {
+      out.texts_[fi] = *text;
+    }
+    if (const auto* attrs = tree.attributes(tn)) {
+      out.attrs_[fi] = *attrs;
+    }
+    if (codes_only) {
+      break;  // root only
+    }
+    // Push children in reverse so they pop in document order.
+    const std::vector<NodeId> children = tree.Children(tn);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.emplace_back(*it, fi);
+    }
+  }
+  return out;
+}
+
+const std::string* Fragment::text(int32_t i) const {
+  auto it = texts_.find(i);
+  return it == texts_.end() ? nullptr : &it->second;
+}
+
+const std::string* Fragment::attribute(int32_t i,
+                                       const std::string& name) const {
+  auto it = attrs_.find(i);
+  if (it == attrs_.end()) return nullptr;
+  for (const XmlAttribute& a : it->second) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+DeweyCode Fragment::AbsoluteCode(int32_t i) const {
+  std::vector<uint32_t> suffix;
+  for (int32_t cur = i; cur != 0; cur = node(cur).parent) {
+    suffix.push_back(node(cur).dewey_component);
+  }
+  DeweyCode out = root_code_;
+  for (auto it = suffix.rbegin(); it != suffix.rend(); ++it) {
+    out.Append(*it);
+  }
+  return out;
+}
+
+bool Fragment::NodeMatches(const TreePattern& pattern,
+                           TreePattern::NodeIndex pn, int32_t fn) const {
+  const PatternNode& p = pattern.node(pn);
+  if (p.label != kWildcardLabel && p.label != node(fn).label) {
+    return false;
+  }
+  if (p.value_pred.has_value()) {
+    const std::string* value = attribute(fn, p.value_pred->attribute);
+    if (value == nullptr || !p.value_pred->Matches(*value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
+                      int32_t fn, std::vector<int8_t>* memo) const {
+  int8_t& cell =
+      (*memo)[static_cast<size_t>(pn) * nodes_.size() +
+              static_cast<size_t>(fn)];
+  if (cell != -1) {
+    return cell != 0;
+  }
+  cell = 0;
+  if (!NodeMatches(pattern, pn, fn)) {
+    return false;
+  }
+  for (TreePattern::NodeIndex pc : pattern.node(pn).children) {
+    bool found = false;
+    if (pattern.axis(pc) == Axis::kChild) {
+      for (int32_t fc : node(fn).children) {
+        if (Embeds(pattern, pc, fc, memo)) {
+          found = true;
+          break;
+        }
+      }
+    } else {
+      // Any proper descendant.
+      std::vector<int32_t> stack(node(fn).children);
+      while (!stack.empty() && !found) {
+        const int32_t fd = stack.back();
+        stack.pop_back();
+        if (Embeds(pattern, pc, fd, memo)) {
+          found = true;
+          break;
+        }
+        for (int32_t c : node(fd).children) {
+          stack.push_back(c);
+        }
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  cell = 1;
+  return true;
+}
+
+bool Fragment::MatchesAnchored(const TreePattern& pattern) const {
+  if (pattern.empty() || nodes_.empty()) {
+    return false;
+  }
+  std::vector<int8_t> memo(pattern.size() * nodes_.size(), -1);
+  return Embeds(pattern, pattern.root(), 0, &memo);
+}
+
+std::vector<int32_t> Fragment::EvaluateAnchored(
+    const TreePattern& pattern) const {
+  std::vector<int32_t> out;
+  if (pattern.empty() || nodes_.empty()) {
+    return out;
+  }
+  std::vector<int8_t> memo(pattern.size() * nodes_.size(), -1);
+  if (!Embeds(pattern, pattern.root(), 0, &memo)) {
+    return out;
+  }
+  // Walk the root-to-answer chain propagating the feasible image set.
+  std::vector<int32_t> reach = {0};
+  const auto chain = pattern.PathFromRoot(pattern.answer());
+  for (size_t ci = 1; ci < chain.size(); ++ci) {
+    const TreePattern::NodeIndex pc = chain[ci];
+    std::vector<int32_t> next;
+    std::vector<bool> seen(nodes_.size(), false);
+    for (int32_t fx : reach) {
+      if (pattern.axis(pc) == Axis::kChild) {
+        for (int32_t fc : node(fx).children) {
+          if (!seen[static_cast<size_t>(fc)] &&
+              Embeds(pattern, pc, fc, &memo)) {
+            seen[static_cast<size_t>(fc)] = true;
+            next.push_back(fc);
+          }
+        }
+      } else {
+        std::vector<int32_t> stack(node(fx).children);
+        while (!stack.empty()) {
+          const int32_t fd = stack.back();
+          stack.pop_back();
+          if (!seen[static_cast<size_t>(fd)] &&
+              Embeds(pattern, pc, fd, &memo)) {
+            seen[static_cast<size_t>(fd)] = true;
+            next.push_back(fd);
+          }
+          for (int32_t c : node(fd).children) {
+            stack.push_back(c);
+          }
+        }
+      }
+    }
+    reach = std::move(next);
+  }
+  std::sort(reach.begin(), reach.end());
+  return reach;
+}
+
+std::string Fragment::Serialize() const {
+  std::string out;
+  PutU32(static_cast<uint32_t>(root_code_.depth()), &out);
+  for (uint32_t c : root_code_.components()) {
+    PutU32(c, &out);
+  }
+  PutU32(static_cast<uint32_t>(nodes_.size()), &out);
+  for (const FragmentNode& n : nodes_) {
+    PutU32(static_cast<uint32_t>(n.label), &out);
+    PutU32(static_cast<uint32_t>(n.parent), &out);
+    PutU32(n.dewey_component, &out);
+  }
+  PutU32(static_cast<uint32_t>(texts_.size()), &out);
+  for (const auto& [id, text] : texts_) {
+    PutU32(static_cast<uint32_t>(id), &out);
+    PutString(text, &out);
+  }
+  PutU32(static_cast<uint32_t>(attrs_.size()), &out);
+  for (const auto& [id, list] : attrs_) {
+    PutU32(static_cast<uint32_t>(id), &out);
+    PutU32(static_cast<uint32_t>(list.size()), &out);
+    for (const XmlAttribute& a : list) {
+      PutString(a.name, &out);
+      PutString(a.value, &out);
+    }
+  }
+  return out;
+}
+
+Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
+  Reader r(bytes);
+  Fragment out;
+  uint32_t depth = 0;
+  if (!r.ReadU32(&depth) || depth > bytes.size() / 4) {
+    return Status::ParseError("truncated fragment (code depth)");
+  }
+  for (uint32_t i = 0; i < depth; ++i) {
+    uint32_t c = 0;
+    if (!r.ReadU32(&c)) {
+      return Status::ParseError("truncated fragment (code)");
+    }
+    out.root_code_.Append(c);
+  }
+  uint32_t count = 0;
+  if (!r.ReadU32(&count) || count > bytes.size() / 12 + 1) {
+    return Status::ParseError("truncated fragment (node count)");
+  }
+  out.nodes_.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t label = 0;
+    uint32_t parent = 0;
+    if (!r.ReadU32(&label) || !r.ReadU32(&parent) ||
+        !r.ReadU32(&out.nodes_[i].dewey_component)) {
+      return Status::ParseError("truncated fragment (node)");
+    }
+    out.nodes_[i].label = static_cast<LabelId>(label);
+    out.nodes_[i].parent = static_cast<int32_t>(parent);
+    // Parents must precede children (node 0 is the root with parent -1).
+    if (i == 0 ? out.nodes_[i].parent != -1
+               : (out.nodes_[i].parent < 0 ||
+                  static_cast<uint32_t>(out.nodes_[i].parent) >= i)) {
+      return Status::ParseError("corrupt fragment (parent link)");
+    }
+    if (out.nodes_[i].parent >= 0) {
+      out.nodes_[static_cast<size_t>(out.nodes_[i].parent)]
+          .children.push_back(static_cast<int32_t>(i));
+    }
+  }
+  uint32_t num_texts = 0;
+  if (!r.ReadU32(&num_texts) || num_texts > bytes.size() / 8) {
+    return Status::ParseError("truncated fragment (texts)");
+  }
+  for (uint32_t i = 0; i < num_texts; ++i) {
+    uint32_t id = 0;
+    std::string text;
+    if (!r.ReadU32(&id) || id >= count || !r.ReadString(&text)) {
+      return Status::ParseError("truncated fragment (text entry)");
+    }
+    out.texts_[static_cast<int32_t>(id)] = std::move(text);
+  }
+  uint32_t num_attr_nodes = 0;
+  if (!r.ReadU32(&num_attr_nodes) || num_attr_nodes > bytes.size() / 8) {
+    return Status::ParseError("truncated fragment (attrs)");
+  }
+  for (uint32_t i = 0; i < num_attr_nodes; ++i) {
+    uint32_t id = 0;
+    uint32_t n = 0;
+    if (!r.ReadU32(&id) || id >= count || !r.ReadU32(&n) ||
+        n > bytes.size() / 8) {
+      return Status::ParseError("truncated fragment (attr entry)");
+    }
+    auto& list = out.attrs_[static_cast<int32_t>(id)];
+    for (uint32_t j = 0; j < n; ++j) {
+      XmlAttribute a;
+      if (!r.ReadString(&a.name) || !r.ReadString(&a.value)) {
+        return Status::ParseError("truncated fragment (attr value)");
+      }
+      list.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+size_t Fragment::ByteSize() const {
+  size_t bytes = 4 + root_code_.depth() * 4 + 4 + nodes_.size() * 12 + 8;
+  for (const auto& [id, text] : texts_) {
+    (void)id;
+    bytes += 8 + text.size();
+  }
+  for (const auto& [id, list] : attrs_) {
+    (void)id;
+    bytes += 8;
+    for (const XmlAttribute& a : list) {
+      bytes += 8 + a.name.size() + a.value.size();
+    }
+  }
+  return bytes;
+}
+
+std::string Fragment::ToXml(const LabelDict& dict, int32_t from) const {
+  std::string out;
+  // Recursive render without building an XmlTree.
+  std::function<void(int32_t)> render = [&](int32_t i) {
+    out.push_back('<');
+    out.append(dict.Name(node(i).label));
+    if (auto it = attrs_.find(i); it != attrs_.end()) {
+      for (const XmlAttribute& a : it->second) {
+        out.push_back(' ');
+        out.append(a.name);
+        out.append("=\"");
+        out.append(EscapeAttribute(a.value));
+        out.push_back('"');
+      }
+    }
+    const std::string* t = text(i);
+    if (node(i).children.empty() && t == nullptr) {
+      out.append("/>");
+      return;
+    }
+    out.push_back('>');
+    if (t != nullptr) {
+      out.append(EscapeText(*t));
+    }
+    for (int32_t c : node(i).children) {
+      render(c);
+    }
+    out.append("</");
+    out.append(dict.Name(node(i).label));
+    out.push_back('>');
+  };
+  if (!nodes_.empty() && from >= 0 &&
+      static_cast<size_t>(from) < nodes_.size()) {
+    render(from);
+  }
+  return out;
+}
+
+}  // namespace xvr

@@ -1,0 +1,96 @@
+#ifndef XVR_STORAGE_FRAGMENT_H_
+#define XVR_STORAGE_FRAGMENT_H_
+
+// A materialized view fragment: the XML subtree rooted at one answer node of
+// a view, together with the extended Dewey code of that root.
+//
+// Fragments are self-contained — they carry labels (as global LabelIds),
+// per-node Dewey components, text and attributes — so the rewriter can
+// refine and join them, and extract query results, without ever touching the
+// base document (the paper's core requirement, §I/§V).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/tree_pattern.h"
+#include "xml/dewey.h"
+#include "xml/label_dict.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+struct FragmentNode {
+  LabelId label = kInvalidLabel;
+  int32_t parent = -1;                 // -1 for the fragment root
+  uint32_t dewey_component = 0;        // last component of its absolute code
+  std::vector<int32_t> children;
+};
+
+class Fragment {
+ public:
+  Fragment() = default;
+
+  // Copies the subtree of `tree` rooted at `root`. The tree must have Dewey
+  // codes assigned. With `codes_only` (§VII partial materialization) only
+  // the root node, its text and its attributes are captured — enough for
+  // joins, anchor checks and anchor-level value predicates, at a fraction
+  // of the storage.
+  static Fragment FromTree(const XmlTree& tree, NodeId root,
+                           bool codes_only = false);
+
+  const DeweyCode& root_code() const { return root_code_; }
+  size_t size() const { return nodes_.size(); }
+  const FragmentNode& node(int32_t i) const {
+    return nodes_[static_cast<size_t>(i)];
+  }
+  const std::string* text(int32_t i) const;
+  const std::string* attribute(int32_t i, const std::string& name) const;
+
+  // Absolute extended Dewey code of a fragment node.
+  DeweyCode AbsoluteCode(int32_t i) const;
+
+  // --- anchored pattern evaluation -----------------------------------------
+  //
+  // Compensating patterns are anchored: the pattern root corresponds to the
+  // fragment root (the view's answer node). Axes are interpreted inside the
+  // fragment.
+
+  // True iff the pattern embeds with pattern-root -> fragment-root.
+  bool MatchesAnchored(const TreePattern& pattern) const;
+
+  // Every fragment node that is the image of the pattern's answer node in
+  // some anchored embedding.
+  std::vector<int32_t> EvaluateAnchored(const TreePattern& pattern) const;
+
+  // --- serialization --------------------------------------------------------
+
+  std::string Serialize() const;
+  static Result<Fragment> Deserialize(const std::string& bytes);
+
+  // Bytes the fragment occupies when serialized (the 128 KB budget metric).
+  size_t ByteSize() const;
+
+  // Serializes the subtree rooted at fragment node `from` (default: the
+  // whole fragment) back to XML text — this is how query results are
+  // materialized without touching base data.
+  std::string ToXml(const LabelDict& dict, int32_t from = 0) const;
+
+ private:
+  bool NodeMatches(const TreePattern& pattern, TreePattern::NodeIndex pn,
+                   int32_t fn) const;
+  // memo is a flat [pattern.size() x nodes_.size()] array of {-1,0,1}.
+  bool Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
+              int32_t fn, std::vector<int8_t>* memo) const;
+
+  DeweyCode root_code_;
+  std::vector<FragmentNode> nodes_;  // node 0 is the root
+  std::unordered_map<int32_t, std::string> texts_;
+  std::unordered_map<int32_t, std::vector<XmlAttribute>> attrs_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_STORAGE_FRAGMENT_H_

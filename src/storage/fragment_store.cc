@@ -1,0 +1,111 @@
+#include "storage/fragment_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace xvr {
+namespace {
+
+std::string ViewPrefix(int32_t view_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "frag/%010d/", view_id);
+  return buf;
+}
+
+std::string FragmentKey(int32_t view_id, size_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "frag/%010d/%08zu", view_id, seq);
+  return buf;
+}
+
+}  // namespace
+
+void FragmentStore::PutView(int32_t view_id,
+                            std::vector<Fragment> fragments) {
+  std::sort(fragments.begin(), fragments.end(),
+            [](const Fragment& a, const Fragment& b) {
+              return a.root_code() < b.root_code();
+            });
+  views_[view_id] = std::move(fragments);
+}
+
+const std::vector<Fragment>* FragmentStore::GetView(int32_t view_id) const {
+  auto it = views_.find(view_id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+bool FragmentStore::HasView(int32_t view_id) const {
+  return views_.find(view_id) != views_.end();
+}
+
+void FragmentStore::RemoveView(int32_t view_id) { views_.erase(view_id); }
+
+size_t FragmentStore::ViewByteSize(int32_t view_id) const {
+  const std::vector<Fragment>* fragments = GetView(view_id);
+  if (fragments == nullptr) {
+    return 0;
+  }
+  size_t bytes = 0;
+  for (const Fragment& f : *fragments) {
+    bytes += f.ByteSize();
+  }
+  return bytes;
+}
+
+size_t FragmentStore::TotalByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [view_id, fragments] : views_) {
+    (void)view_id;
+    for (const Fragment& f : fragments) {
+      bytes += f.ByteSize();
+    }
+  }
+  return bytes;
+}
+
+Status FragmentStore::SaveTo(KvStore* kv) const {
+  for (const auto& [view_id, fragments] : views_) {
+    kv->DeletePrefix(ViewPrefix(view_id));
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      kv->Put(FragmentKey(view_id, i), fragments[i].Serialize());
+    }
+  }
+  return Status::Ok();
+}
+
+Status FragmentStore::LoadFrom(const KvStore& kv) {
+  views_.clear();
+  Status status = Status::Ok();
+  kv.ScanPrefix("frag/", [&](const std::string& key,
+                             const std::string& value) {
+    // key = frag/<view>/<seq>
+    const std::vector<std::string> parts = Split(key, '/');
+    if (parts.size() != 3) {
+      status = Status::ParseError("malformed fragment key " + key);
+      return false;
+    }
+    const int32_t view_id = static_cast<int32_t>(std::atoi(parts[1].c_str()));
+    Result<Fragment> fragment = Fragment::Deserialize(value);
+    if (!fragment.ok()) {
+      status = fragment.status();
+      return false;
+    }
+    views_[view_id].push_back(std::move(fragment).value());
+    return true;
+  });
+  // Keys scan in order, so per-view fragments are already Dewey-sorted only
+  // if sequence order matched; re-sort to be safe.
+  for (auto& [view_id, fragments] : views_) {
+    (void)view_id;
+    std::sort(fragments.begin(), fragments.end(),
+              [](const Fragment& a, const Fragment& b) {
+                return a.root_code() < b.root_code();
+              });
+  }
+  return status;
+}
+
+}  // namespace xvr

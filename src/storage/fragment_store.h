@@ -1,0 +1,47 @@
+#ifndef XVR_STORAGE_FRAGMENT_STORE_H_
+#define XVR_STORAGE_FRAGMENT_STORE_H_
+
+// Holds the materialized fragments of every view, ordered by the Dewey code
+// of the fragment root (document order), and offers persistence through the
+// KvStore substrate.
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/fragment.h"
+#include "storage/kv_store.h"
+
+namespace xvr {
+
+class FragmentStore {
+ public:
+  FragmentStore() = default;
+
+  // Installs the fragments of `view_id` (replacing any previous ones).
+  // Fragments are sorted by root code internally.
+  void PutView(int32_t view_id, std::vector<Fragment> fragments);
+
+  // nullptr when the view is not materialized.
+  const std::vector<Fragment>* GetView(int32_t view_id) const;
+
+  bool HasView(int32_t view_id) const;
+  void RemoveView(int32_t view_id);
+
+  // Serialized byte size of one view's fragments (the 128 KB cap metric).
+  size_t ViewByteSize(int32_t view_id) const;
+
+  size_t num_views() const { return views_.size(); }
+  size_t TotalByteSize() const;
+
+  // Persistence: keys are "frag/<view_id>/<seq>"; the image round-trips.
+  Status SaveTo(KvStore* kv) const;
+  Status LoadFrom(const KvStore& kv);
+
+ private:
+  std::unordered_map<int32_t, std::vector<Fragment>> views_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_STORAGE_FRAGMENT_STORE_H_

@@ -1,0 +1,152 @@
+#include "storage/kv_store.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace xvr {
+namespace {
+
+constexpr uint32_t kMagic = 0x584B5653;  // "XKVS"
+
+uint64_t Fnv1a(const std::string& data, uint64_t h) {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void PutU64(uint64_t v, std::ofstream* out) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream* in, uint64_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(*in);
+}
+
+}  // namespace
+
+void KvStore::Put(std::string key, std::string value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    byte_size_ -= it->second.size();
+    byte_size_ += value.size();
+    it->second = std::move(value);
+    return;
+  }
+  byte_size_ += key.size() + value.size();
+  map_.emplace(std::move(key), std::move(value));
+}
+
+const std::string* KvStore::Get(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+bool KvStore::Delete(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  byte_size_ -= it->first.size() + it->second.size();
+  map_.erase(it);
+  return true;
+}
+
+void KvStore::ScanPrefix(
+    const std::string& prefix,
+    const std::function<bool(const std::string&, const std::string&)>& fn)
+    const {
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!fn(it->first, it->second)) {
+      break;
+    }
+  }
+}
+
+size_t KvStore::DeletePrefix(const std::string& prefix) {
+  size_t removed = 0;
+  auto it = map_.lower_bound(prefix);
+  while (it != map_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    byte_size_ -= it->first.size() + it->second.size();
+    it = map_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+Status KvStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  PutU64(kMagic, &out);
+  PutU64(map_.size(), &out);
+  uint64_t checksum = 1469598103934665603ULL;
+  for (const auto& [key, value] : map_) {
+    PutU64(key.size(), &out);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    PutU64(value.size(), &out);
+    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    checksum = Fnv1a(key, checksum);
+    checksum = Fnv1a(value, checksum);
+  }
+  PutU64(checksum, &out);
+  if (!out) {
+    return Status::IoError("write failure on " + path);
+  }
+  return Status::Ok();
+}
+
+Status KvStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU64(&in, &magic) || magic != kMagic || !ReadU64(&in, &count)) {
+    return Status::ParseError("bad KvStore image header in " + path);
+  }
+  std::map<std::string, std::string> loaded;
+  size_t bytes = 0;
+  uint64_t checksum = 1469598103934665603ULL;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t klen = 0;
+    uint64_t vlen = 0;
+    if (!ReadU64(&in, &klen) || klen > file_size) {
+      return Status::ParseError("truncated KvStore image (key length)");
+    }
+    std::string key(klen, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(klen));
+    if (!ReadU64(&in, &vlen) || vlen > file_size) {
+      return Status::ParseError("truncated KvStore image (value length)");
+    }
+    std::string value(vlen, '\0');
+    in.read(value.data(), static_cast<std::streamsize>(vlen));
+    if (!in) {
+      return Status::ParseError("truncated KvStore image (payload)");
+    }
+    checksum = Fnv1a(key, checksum);
+    checksum = Fnv1a(value, checksum);
+    bytes += key.size() + value.size();
+    loaded.emplace(std::move(key), std::move(value));
+  }
+  uint64_t want = 0;
+  if (!ReadU64(&in, &want) || want != checksum) {
+    return Status::ParseError("KvStore image checksum mismatch in " + path);
+  }
+  map_ = std::move(loaded);
+  byte_size_ = bytes;
+  return Status::Ok();
+}
+
+}  // namespace xvr

@@ -1,0 +1,56 @@
+#ifndef XVR_STORAGE_KV_STORE_H_
+#define XVR_STORAGE_KV_STORE_H_
+
+// A small ordered key-value store with binary file persistence.
+//
+// Plays the role Berkeley DB plays in the paper's implementation (§VI): a
+// byte store for the serialized VFILTER image and the materialized view
+// fragments. Keys are kept in sorted order so prefix scans enumerate a
+// view's fragments in Dewey order.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xvr {
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  void Put(std::string key, std::string value);
+
+  // Returns nullptr when absent.
+  const std::string* Get(const std::string& key) const;
+
+  bool Delete(const std::string& key);
+
+  // Visits every (key, value) whose key starts with `prefix`, in key order.
+  // Return false from the callback to stop early.
+  void ScanPrefix(const std::string& prefix,
+                  const std::function<bool(const std::string&,
+                                           const std::string&)>& fn) const;
+
+  // Deletes all keys with the prefix; returns how many were removed.
+  size_t DeletePrefix(const std::string& prefix);
+
+  size_t size() const { return map_.size(); }
+
+  // Total bytes of keys + values (the "database size" metric).
+  size_t ByteSize() const { return byte_size_; }
+
+  // Persistence: a little-endian image with a FNV-1a checksum.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> map_;
+  size_t byte_size_ = 0;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_STORAGE_KV_STORE_H_

@@ -1,0 +1,220 @@
+#include "vfilter/nfa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xvr {
+
+PathNfa::PathNfa() {
+  NewState();  // start state
+}
+
+StateId PathNfa::NewState() {
+  states_.emplace_back();
+  mark_.push_back(0);
+  accept_mark_.push_back(0);
+  return static_cast<StateId>(states_.size() - 1);
+}
+
+StateId PathNfa::Step(StateId from, const PathStep& step, bool share) {
+  // '//' steps hang off a loop state of `from`.
+  StateId source = from;
+  if (step.axis == Axis::kDescendant) {
+    StateId loop = kNoState;
+    if (share && !states_[static_cast<size_t>(from)].loop_states.empty()) {
+      loop = states_[static_cast<size_t>(from)].loop_states.front();
+    } else {
+      loop = NewState();
+      states_[static_cast<size_t>(loop)].is_loop = true;
+      states_[static_cast<size_t>(from)].loop_states.push_back(loop);
+    }
+    source = loop;
+  }
+  if (step.label == kWildcardLabel) {
+    auto& stars = states_[static_cast<size_t>(source)].star_trans;
+    if (share && !stars.empty()) {
+      return stars.front();
+    }
+    const StateId next = NewState();
+    states_[static_cast<size_t>(source)].star_trans.push_back(next);
+    return next;
+  }
+  auto& trans = states_[static_cast<size_t>(source)].label_trans;
+  auto it = trans.find(step.label);
+  if (share && it != trans.end() && !it->second.empty()) {
+    return it->second.front();
+  }
+  const StateId next = NewState();
+  states_[static_cast<size_t>(source)].label_trans[step.label].push_back(
+      next);
+  return next;
+}
+
+void PathNfa::Insert(const PathPattern& path, int32_t view_id,
+                     int32_t path_id, bool share_prefixes,
+                     const PredInterner& pred_intern) {
+  XVR_CHECK(!path.empty()) << "cannot insert an empty path pattern";
+  StateId cur = start();
+  for (const PathStep& step : path.steps()) {
+    cur = Step(cur, step, share_prefixes);
+    if (step.pred.has_value() && pred_intern) {
+      // The continuation of a predicated step hangs off the required pred
+      // transition.
+      const int32_t token = PredTokenFor(pred_intern(*step.pred));
+      auto& targets = states_[static_cast<size_t>(cur)].pred_trans[token];
+      if (share_prefixes && !targets.empty()) {
+        cur = targets.front();
+      } else {
+        const StateId next = NewState();
+        states_[static_cast<size_t>(cur)].pred_trans[token].push_back(next);
+        cur = next;
+      }
+    }
+  }
+  State& fin = states_[static_cast<size_t>(cur)];
+  fin.is_accepting = true;
+  fin.accepts.push_back(AcceptEntry{view_id, path_id,
+                                    static_cast<int32_t>(path.Length())});
+}
+
+void PathNfa::RemoveView(int32_t view_id) {
+  for (State& s : states_) {
+    if (!s.is_accepting) {
+      continue;
+    }
+    s.accepts.erase(std::remove_if(s.accepts.begin(), s.accepts.end(),
+                                   [view_id](const AcceptEntry& e) {
+                                     return e.view_id == view_id;
+                                   }),
+                    s.accepts.end());
+    if (s.accepts.empty()) {
+      s.is_accepting = false;
+    }
+  }
+}
+
+void PathNfa::Read(const std::vector<int32_t>& tokens,
+                   std::vector<const AcceptEntry*>* hits) const {
+  hits->clear();
+  current_.clear();
+  next_.clear();
+  if (mark_.size() < states_.size()) {
+    // States may have been installed wholesale by deserialization.
+    mark_.resize(states_.size(), 0);
+    accept_mark_.resize(states_.size(), 0);
+  }
+
+  // Once an accepting state is reached its self-loop absorbs every further
+  // token, so acceptance is decided at first entry: record the hits
+  // immediately and keep the state in the working set only for its outgoing
+  // trie edges. This keeps the per-token cost proportional to the genuinely
+  // active states instead of every accept collected so far.
+  ++read_epoch_;
+  auto add = [this, hits](std::vector<StateId>* set, StateId id) {
+    const State& s = states_[static_cast<size_t>(id)];
+    if (s.is_accepting &&
+        accept_mark_[static_cast<size_t>(id)] != read_epoch_) {
+      accept_mark_[static_cast<size_t>(id)] = read_epoch_;
+      for (const AcceptEntry& e : s.accepts) {
+        hits->push_back(&e);
+      }
+    }
+    if (mark_[static_cast<size_t>(id)] != epoch_) {
+      mark_[static_cast<size_t>(id)] = epoch_;
+      const bool has_outgoing = s.is_loop || !s.label_trans.empty() ||
+                                !s.star_trans.empty() ||
+                                !s.loop_states.empty() ||
+                                !s.pred_trans.empty();
+      if (has_outgoing) {
+        set->push_back(id);
+      }
+      // Epsilon closure: entering a state also arms its '//' loop states.
+      for (StateId loop : s.loop_states) {
+        if (mark_[static_cast<size_t>(loop)] != epoch_) {
+          mark_[static_cast<size_t>(loop)] = epoch_;
+          set->push_back(loop);
+        }
+      }
+    }
+  };
+
+  ++epoch_;
+  add(&current_, start());
+
+  for (int32_t token : tokens) {
+    ++epoch_;
+    next_.clear();
+    for (StateId id : current_) {
+      const State& s = states_[static_cast<size_t>(id)];
+      // '//' waiting states self-loop on any token, including '#'.
+      // (Accepting states already recorded their hits on entry; they stay
+      // active only through their outgoing edges below.)
+      if (s.is_loop) {
+        add(&next_, id);
+      }
+      if (IsPredToken(token)) {
+        // Pred tokens are invisible to states without the matching required
+        // predicate (a view without the predicate is weaker and still
+        // contains the query)...
+        add(&next_, id);
+        // ...and advance the views that require exactly this predicate.
+        auto it = s.pred_trans.find(token);
+        if (it != s.pred_trans.end()) {
+          for (StateId t : it->second) {
+            add(&next_, t);
+          }
+        }
+        continue;
+      }
+      if (token == kHashToken) {
+        continue;  // '#' can only be absorbed by self-loops
+      }
+      if (token != kWildcardLabel) {
+        auto it = s.label_trans.find(token);
+        if (it != s.label_trans.end()) {
+          for (StateId t : it->second) {
+            add(&next_, t);
+          }
+        }
+      }
+      // A '*' edge of a view consumes any label token and the '*' token; an
+      // exact-label edge never consumes '*' (view /l does not contain /*).
+      for (StateId t : s.star_trans) {
+        add(&next_, t);
+      }
+    }
+    current_.swap(next_);
+    if (current_.empty()) {
+      return;
+    }
+  }
+}
+
+size_t PathNfa::num_transitions() const {
+  size_t count = 0;
+  for (const State& s : states_) {
+    for (const auto& [label, targets] : s.label_trans) {
+      (void)label;
+      count += targets.size();
+    }
+    for (const auto& [token, targets] : s.pred_trans) {
+      (void)token;
+      count += targets.size();
+    }
+    count += s.star_trans.size();
+    count += s.loop_states.size();  // the epsilon edges
+    if (s.is_loop || s.is_accepting) ++count;  // the self-loop
+  }
+  return count;
+}
+
+size_t PathNfa::num_accept_entries() const {
+  size_t count = 0;
+  for (const State& s : states_) {
+    count += s.accepts.size();
+  }
+  return count;
+}
+
+}  // namespace xvr

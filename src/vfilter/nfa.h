@@ -1,0 +1,129 @@
+#ifndef XVR_VFILTER_NFA_H_
+#define XVR_VFILTER_NFA_H_
+
+// The NFA underlying VFILTER (paper §III-B, Figures 4 and 5).
+//
+// The automaton reads the token string STR(P) of a (normalized) query path
+// pattern — labels, '*' tokens and '#' tokens (for //) — and reaches the
+// accepting state of every indexed view path pattern P_f with P ⊑ P_f.
+//
+// Construction mirrors the paper's four basic fragments:
+//   /l   : a transition on label l
+//   /*   : a transition on the '*' symbol (matches any label token, not '#')
+//   //l  : an epsilon edge to a self-loop state (accepts every token,
+//          including '#'), then a transition on l
+//   //*  : the self-loop state, then a '*' transition
+// Fragments are concatenated along the trie of path patterns so common
+// prefixes share states; accepting states additionally self-loop on every
+// token ("accepts any label or edge"), so a longer query path stays accepted
+// by a shorter view path it extends.
+//
+// Transitions are multi-target so the prefix-sharing ablation can insert
+// genuinely parallel chains; with sharing on, each symbol has at most one
+// target per state and the structure is a trie.
+//
+// Token conventions (see pattern/path_pattern.h):
+//   label ids >= 0, kWildcardLabel for '*', kHashToken for '#'.
+//
+// Attribute extension (the paper's §VII future work): a step carrying a
+// value predicate emits a pred token (encoded below kPredTokenBase) right
+// after its label token. A view step that REQUIRES the predicate routes its
+// continuation through a pred transition; pred tokens are otherwise
+// invisible (every state survives them), since a view without the predicate
+// is weaker and still contains the query.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/path_pattern.h"
+#include "xml/label_dict.h"
+
+namespace xvr {
+
+using StateId = int32_t;
+inline constexpr StateId kNoState = -1;
+
+// Pred tokens are kPredTokenBase - pred_id (pred ids interned by VFilter).
+inline constexpr int32_t kPredTokenBase = -1000;
+
+inline bool IsPredToken(int32_t token) { return token <= kPredTokenBase; }
+inline int32_t PredTokenFor(int32_t pred_id) {
+  return kPredTokenBase - pred_id;
+}
+
+// A view path pattern registered at an accepting state.
+struct AcceptEntry {
+  int32_t view_id = -1;
+  int32_t path_id = -1;  // index of the path inside the view's D(V)
+  int32_t length = 0;    // number of labels of the view path (for LIST(P))
+};
+
+class PathNfa {
+ public:
+  PathNfa();
+
+  // Interns a value predicate into a pred id (attribute extension).
+  using PredInterner = std::function<int32_t(const ValuePredicate&)>;
+
+  // Inserts the (already normalized) path pattern of view `view_id`. When
+  // `share_prefixes` is false a private chain of states is created for the
+  // whole path (ablation baseline for the paper's prefix-sharing claim).
+  // When `pred_intern` is provided, steps carrying value predicates route
+  // through required pred transitions.
+  void Insert(const PathPattern& path, int32_t view_id, int32_t path_id,
+              bool share_prefixes = true,
+              const PredInterner& pred_intern = nullptr);
+
+  // Removes the accept entries of `view_id` (states are retained; the NFA
+  // supports cheap logical deletion as pointed out in §III-D (3)).
+  void RemoveView(int32_t view_id);
+
+  // Runs the token string and returns the accept entries of every accepting
+  // state reachable after consuming all tokens. Not thread-safe (reuses
+  // scratch buffers to keep the hot path allocation-free).
+  void Read(const std::vector<int32_t>& tokens,
+            std::vector<const AcceptEntry*>* hits) const;
+
+  // --- statistics ----------------------------------------------------------
+
+  size_t num_states() const { return states_.size(); }
+  size_t num_transitions() const;
+  size_t num_accept_entries() const;
+
+  // Serialization (vfilter/vfilter_serde.cc).
+  struct State {
+    std::unordered_map<LabelId, std::vector<StateId>> label_trans;
+    std::vector<StateId> star_trans;
+    std::vector<StateId> loop_states;  // '//' waiting states hanging off this
+    // Required-predicate continuations, keyed by pred token.
+    std::unordered_map<int32_t, std::vector<StateId>> pred_trans;
+    bool is_loop = false;              // self-loops on every token
+    bool is_accepting = false;
+    std::vector<AcceptEntry> accepts;
+  };
+  const std::vector<State>& states() const { return states_; }
+  std::vector<State>& mutable_states() { return states_; }
+  StateId start() const { return 0; }
+
+ private:
+  StateId NewState();
+  // Follows/creates the transition for one step out of `from`.
+  StateId Step(StateId from, const PathStep& step, bool share);
+
+  std::vector<State> states_;
+
+  // Scratch for Read(): visited epochs avoid clearing a bitmap per call.
+  mutable std::vector<uint32_t> mark_;
+  mutable uint32_t epoch_ = 0;
+  // Guards against recording one accepting state twice within a Read.
+  mutable std::vector<uint32_t> accept_mark_;
+  mutable uint32_t read_epoch_ = 0;
+  mutable std::vector<StateId> current_;
+  mutable std::vector<StateId> next_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_VFILTER_NFA_H_

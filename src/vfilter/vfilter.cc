@@ -1,0 +1,204 @@
+#include "vfilter/vfilter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "pattern/normalize.h"
+
+namespace xvr {
+
+VFilter::VFilter(VFilterOptions options) : options_(options) {}
+
+namespace {
+std::string PredKey(const ValuePredicate& pred) {
+  return pred.attribute + "\x01" +
+         std::to_string(static_cast<int>(pred.op)) + "\x01" + pred.value;
+}
+}  // namespace
+
+int32_t VFilter::InternPred(const ValuePredicate& pred) {
+  auto [it, inserted] =
+      pred_ids_.emplace(PredKey(pred), static_cast<int32_t>(pred_ids_.size()));
+  return it->second;
+}
+
+int32_t VFilter::FindPredToken(const ValuePredicate& pred) const {
+  auto it = pred_ids_.find(PredKey(pred));
+  // Unknown predicates get a token no view requires; it is still absorbed
+  // as an invisible token by every state.
+  const int32_t id =
+      it == pred_ids_.end() ? static_cast<int32_t>(pred_ids_.size()) : it->second;
+  return PredTokenFor(id);
+}
+
+std::vector<int32_t> VFilter::Tokens(const PathPattern& path) const {
+  std::vector<int32_t> tokens = PathToTokens(path);
+  if (!options_.index_attributes) {
+    return tokens;
+  }
+  // Re-emit with pred tokens interleaved after their step labels.
+  tokens.clear();
+  for (const PathStep& step : path.steps()) {
+    if (step.axis == Axis::kDescendant) {
+      tokens.push_back(kHashToken);
+    }
+    tokens.push_back(step.label);
+    if (step.pred.has_value()) {
+      tokens.push_back(FindPredToken(*step.pred));
+    }
+  }
+  return tokens;
+}
+
+void VFilter::AddView(int32_t view_id, const TreePattern& view) {
+  XVR_CHECK(view_id >= 0);
+  XVR_CHECK(views_.find(view_id) == views_.end())
+      << "view " << view_id << " already indexed";
+  Decomposition d = Decompose(view);
+  views_[view_id] = static_cast<int32_t>(d.paths.size());
+  for (size_t i = 0; i < d.paths.size(); ++i) {
+    // Index the raw form (so prefix containments that rely on the original
+    // child edges keep their homomorphism) and, when normalization is on
+    // and changes the path, also the normalized form (which aligns the
+    // equivalence classes of Example 3.2). Both entries share the path id,
+    // so coverage accounting is unaffected.
+    PathNfa::PredInterner interner;
+    if (options_.index_attributes) {
+      interner = [this](const ValuePredicate& pred) {
+        return InternPred(pred);
+      };
+    }
+    nfa_.Insert(d.paths[i], view_id, static_cast<int32_t>(i),
+                options_.share_prefixes, interner);
+    if (options_.normalize) {
+      const PathPattern normalized = NormalizePath(d.paths[i]);
+      if (!(normalized == d.paths[i])) {
+        nfa_.Insert(normalized, view_id, static_cast<int32_t>(i),
+                    options_.share_prefixes, interner);
+      }
+    }
+  }
+}
+
+void VFilter::RemoveView(int32_t view_id) {
+  if (views_.erase(view_id) > 0) {
+    nfa_.RemoveView(view_id);
+  }
+}
+
+int32_t VFilter::NumPathsOf(int32_t view_id) const {
+  auto it = views_.find(view_id);
+  return it == views_.end() ? -1 : it->second;
+}
+
+FilterResult VFilter::Filter(const TreePattern& query) const {
+  FilterResult result;
+  result.decomposition = Decompose(query);
+  const size_t num_query_paths = result.decomposition.paths.size();
+  result.lists.resize(num_query_paths);
+
+  // Per view: which of its path patterns accepted at least one query path
+  // (as a bitmask; views rarely have more than a handful of paths), or a
+  // plain counter in the paper-literal ablation mode.
+  std::unordered_map<int32_t, uint64_t> covered;
+  std::unordered_map<int32_t, int32_t> counters;
+
+  // Per query path: view -> longest accepting view-path length.
+  std::vector<std::unordered_map<int32_t, int32_t>> list_maps(
+      num_query_paths);
+
+  std::vector<const AcceptEntry*> hits;
+  for (size_t i = 0; i < num_query_paths; ++i) {
+    const PathPattern& raw = result.decomposition.paths[i];
+    // Read the normalized string (catches the Example 3.2 equivalences) and
+    // also the raw string when it differs: a view path can match the raw
+    // form by plain prefix containment that normalization obscures (the //
+    // pushed in front of a wildcard breaks child-edge homomorphisms). Both
+    // reads are sound; their union removes the false negatives either read
+    // alone would have.
+    std::vector<std::vector<int32_t>> reads;
+    if (options_.normalize) {
+      const PathPattern normalized = NormalizePath(raw);
+      reads.push_back(Tokens(normalized));
+      if (!(normalized == raw)) {
+        reads.push_back(Tokens(raw));
+      }
+    } else {
+      reads.push_back(Tokens(raw));
+    }
+    // Each distinct (view path, query path) acceptance counts once, even if
+    // both reads hit it.
+    std::unordered_set<int64_t> pairs_hit;
+    for (const std::vector<int32_t>& tokens : reads) {
+      nfa_.Read(tokens, &hits);
+      for (const AcceptEntry* e : hits) {
+        auto [it, inserted] = list_maps[i].emplace(e->view_id, e->length);
+        if (!inserted && e->length > it->second) {
+          it->second = e->length;
+        }
+        const int64_t pair_key =
+            (static_cast<int64_t>(e->view_id) << 20) | e->path_id;
+        if (!pairs_hit.insert(pair_key).second) {
+          continue;
+        }
+        if (options_.counter_mode) {
+          ++counters[e->view_id];
+        } else if (e->path_id < 64) {
+          covered[e->view_id] |= uint64_t{1} << e->path_id;
+        }
+      }
+    }
+  }
+
+  // A view is a candidate iff every path of D(V) accepted some query path.
+  // Only views with at least one hit can qualify, so iterate the hit maps
+  // rather than the full registry (keeps Filter sub-linear in |V|).
+  if (options_.counter_mode) {
+    for (const auto& [view_id, count] : counters) {
+      auto it = views_.find(view_id);
+      if (it != views_.end() && count == it->second) {
+        result.candidates.push_back(view_id);
+      }
+    }
+  } else {
+    for (const auto& [view_id, mask] : covered) {
+      auto it = views_.find(view_id);
+      if (it == views_.end()) {
+        continue;
+      }
+      const int32_t num_paths = it->second;
+      const uint64_t want = (num_paths >= 64)
+                                ? ~uint64_t{0}
+                                : ((uint64_t{1} << num_paths) - 1);
+      if ((mask & want) == want) {
+        result.candidates.push_back(view_id);
+      }
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end());
+
+  // Build LIST(P_i): drop non-candidates, sort by length descending (ties by
+  // view id for determinism).
+  std::unordered_map<int32_t, bool> is_candidate;
+  is_candidate.reserve(result.candidates.size() * 2);
+  for (int32_t v : result.candidates) {
+    is_candidate[v] = true;
+  }
+  for (size_t i = 0; i < num_query_paths; ++i) {
+    auto& list = result.lists[i];
+    for (const auto& [view_id, length] : list_maps[i]) {
+      if (is_candidate.count(view_id) > 0) {
+        list.push_back(ViewLengthEntry{view_id, length});
+      }
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ViewLengthEntry& a, const ViewLengthEntry& b) {
+                if (a.length != b.length) return a.length > b.length;
+                return a.view_id < b.view_id;
+              });
+  }
+  return result;
+}
+
+}  // namespace xvr

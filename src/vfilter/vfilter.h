@@ -1,0 +1,123 @@
+#ifndef XVR_VFILTER_VFILTER_H_
+#define XVR_VFILTER_VFILTER_H_
+
+// VFILTER (paper §III): indexes the decomposed, normalized path patterns of
+// a view set in a prefix-shared NFA and, per query, returns the candidate
+// views that may contain the query (Algorithm 1, VIEWFILTERING).
+//
+// Guarantee (Proposition 3.1 + §III-C): a view with a homomorphism to the
+// query is never filtered (no false negatives w.r.t. homomorphism-based
+// containment, the test used by selection); views that merely share all
+// their path patterns with the query may survive as false positives —
+// Fig. 10 measures how rare that is.
+//
+// Besides the candidate set, Filter() produces the per-query-path sorted
+// lists LIST(P_i) of (view, longest-accepting-path-length) pairs consumed by
+// the heuristic selector (Algorithm 2).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pattern/path_pattern.h"
+#include "pattern/tree_pattern.h"
+#include "vfilter/nfa.h"
+
+namespace xvr {
+
+struct VFilterOptions {
+  // Normalize path patterns on insert and on read (§III-C). Disabling this
+  // reintroduces the false negatives of Example 3.2 (ablation).
+  bool normalize = true;
+  // Share common path prefixes in the NFA (§III-B). Disabling measures the
+  // size benefit of sharing (ablation for Fig. 11's discussion).
+  bool share_prefixes = true;
+  // Use the paper's literal NUM(V) counter (Algorithm 1 lines 11-12)
+  // instead of the per-path coverage bitset. The counter can over- and
+  // under-select when one view path accepts several query paths (ablation).
+  bool counter_mode = false;
+  // Attribute extension (§VII future work): index value predicates as
+  // required pred transitions, pruning views whose attribute comparisons
+  // the query does not carry. Off by default (the paper's filter is purely
+  // structural). Sound either way.
+  bool index_attributes = false;
+};
+
+// LIST(P_i) entry: a candidate view and the length (number of labels) of its
+// longest path pattern that contains P_i.
+struct ViewLengthEntry {
+  int32_t view_id = -1;
+  int32_t length = 0;
+};
+
+struct FilterResult {
+  // Views for which every path pattern of D(V) contains some path of D(Q).
+  std::vector<int32_t> candidates;
+  // Parallel to decomposition.paths: LIST(P_i) sorted by length descending,
+  // restricted to candidate views (Algorithm 1 lines 22-26).
+  std::vector<std::vector<ViewLengthEntry>> lists;
+  // The query decomposition (needed again by selection).
+  Decomposition decomposition;
+};
+
+class VFilter {
+ public:
+  explicit VFilter(VFilterOptions options = {});
+
+  // Indexes `view`. `view_id` must be unique and non-negative.
+  void AddView(int32_t view_id, const TreePattern& view);
+
+  // Logically removes a view (its accept entries disappear; trie states are
+  // retained).
+  void RemoveView(int32_t view_id);
+
+  // Runs VIEWFILTERING(Q, V, A).
+  FilterResult Filter(const TreePattern& query) const;
+
+  // --- statistics -----------------------------------------------------------
+
+  size_t num_views() const { return views_.size(); }
+  size_t num_states() const { return nfa_.num_states(); }
+  size_t num_transitions() const { return nfa_.num_transitions(); }
+  const PathNfa& nfa() const { return nfa_; }
+  PathNfa& mutable_nfa() { return nfa_; }
+  const VFilterOptions& options() const { return options_; }
+
+  // Number of distinct path patterns of an indexed view (|D(V)|).
+  int32_t NumPathsOf(int32_t view_id) const;
+
+  // Registry access for (de)serialization.
+  const std::unordered_map<int32_t, int32_t>& view_path_counts() const {
+    return views_;
+  }
+  std::unordered_map<int32_t, int32_t>& mutable_view_path_counts() {
+    return views_;
+  }
+
+  // Pred dictionary (attribute extension): interned predicate keys. Exposed
+  // for serialization.
+  const std::unordered_map<std::string, int32_t>& pred_ids() const {
+    return pred_ids_;
+  }
+  std::unordered_map<std::string, int32_t>& mutable_pred_ids() {
+    return pred_ids_;
+  }
+
+ private:
+  // Token string of a path: labels, '*', '#', plus pred tokens when the
+  // attribute extension is on.
+  std::vector<int32_t> Tokens(const PathPattern& path) const;
+  int32_t InternPred(const ValuePredicate& pred);
+  // Read-side variant: unknown predicates map to a fresh token that matches
+  // no required transition (but is still absorbed as "invisible").
+  int32_t FindPredToken(const ValuePredicate& pred) const;
+
+  VFilterOptions options_;
+  PathNfa nfa_;
+  std::unordered_map<int32_t, int32_t> views_;  // view_id -> |D(V)|
+  std::unordered_map<std::string, int32_t> pred_ids_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_VFILTER_VFILTER_H_

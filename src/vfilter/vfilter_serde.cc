@@ -1,0 +1,257 @@
+#include "vfilter/vfilter_serde.h"
+
+#include <cstring>
+
+namespace xvr {
+namespace {
+
+constexpr uint32_t kMagic = 0x56464C54;  // "VFLT"
+constexpr uint32_t kVersion = 3;
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutIdList(const std::vector<StateId>& ids, std::string* out) {
+  PutU32(static_cast<uint32_t>(ids.size()), out);
+  for (StateId id : ids) {
+    PutI32(id, out);
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadI32(int32_t* v) {
+    uint32_t u;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  size_t Remaining() const { return bytes_.size() - pos_; }
+  bool ReadBytes(uint32_t len, std::string* out) {
+    if (pos_ + len > bytes_.size()) return false;
+    out->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool ReadIdList(std::vector<StateId>* ids) {
+    uint32_t n = 0;
+    if (!ReadU32(&n)) return false;
+    if (n > Remaining() / 4) return false;  // corrupt count
+    ids->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!ReadI32(&(*ids)[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeVFilter(const VFilter& filter) {
+  std::string out;
+  PutU32(kMagic, &out);
+  PutU32(kVersion, &out);
+  const VFilterOptions& opt = filter.options();
+  PutU32((opt.normalize ? 1u : 0u) | (opt.share_prefixes ? 2u : 0u) |
+             (opt.counter_mode ? 4u : 0u) |
+             (opt.index_attributes ? 8u : 0u),
+         &out);
+  // Pred dictionary (attribute extension).
+  PutU32(static_cast<uint32_t>(filter.pred_ids().size()), &out);
+  for (const auto& [key, id] : filter.pred_ids()) {
+    PutU32(static_cast<uint32_t>(key.size()), &out);
+    out.append(key);
+    PutI32(id, &out);
+  }
+  // View registry.
+  PutU32(static_cast<uint32_t>(filter.view_path_counts().size()), &out);
+  for (const auto& [view_id, num_paths] : filter.view_path_counts()) {
+    PutI32(view_id, &out);
+    PutI32(num_paths, &out);
+  }
+  // States.
+  const auto& states = filter.nfa().states();
+  PutU32(static_cast<uint32_t>(states.size()), &out);
+  for (const auto& s : states) {
+    PutU32((s.is_loop ? 1u : 0u) | (s.is_accepting ? 2u : 0u), &out);
+    PutIdList(s.star_trans, &out);
+    PutIdList(s.loop_states, &out);
+    PutU32(static_cast<uint32_t>(s.label_trans.size()), &out);
+    for (const auto& [label, targets] : s.label_trans) {
+      PutI32(label, &out);
+      PutIdList(targets, &out);
+    }
+    PutU32(static_cast<uint32_t>(s.pred_trans.size()), &out);
+    for (const auto& [token, targets] : s.pred_trans) {
+      PutI32(token, &out);
+      PutIdList(targets, &out);
+    }
+    PutU32(static_cast<uint32_t>(s.accepts.size()), &out);
+    for (const AcceptEntry& e : s.accepts) {
+      PutI32(e.view_id, &out);
+      PutI32(e.path_id, &out);
+      PutI32(e.length, &out);
+    }
+  }
+  return out;
+}
+
+Result<VFilter> DeserializeVFilter(const std::string& bytes) {
+  Reader r(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  if (!r.ReadU32(&magic) || magic != kMagic) {
+    return Status::ParseError("bad VFilter image magic");
+  }
+  if (!r.ReadU32(&version) || version != kVersion) {
+    return Status::ParseError("unsupported VFilter image version");
+  }
+  if (!r.ReadU32(&flags)) {
+    return Status::ParseError("truncated VFilter image");
+  }
+  VFilterOptions options;
+  options.normalize = (flags & 1u) != 0;
+  options.share_prefixes = (flags & 2u) != 0;
+  options.counter_mode = (flags & 4u) != 0;
+  options.index_attributes = (flags & 8u) != 0;
+  VFilter filter(options);
+
+  uint32_t num_preds = 0;
+  if (!r.ReadU32(&num_preds) || num_preds > bytes.size()) {
+    return Status::ParseError("truncated VFilter image (pred dictionary)");
+  }
+  for (uint32_t i = 0; i < num_preds; ++i) {
+    uint32_t len = 0;
+    if (!r.ReadU32(&len)) {
+      return Status::ParseError("truncated VFilter image (pred key)");
+    }
+    std::string key;
+    if (!r.ReadBytes(len, &key)) {
+      return Status::ParseError("truncated VFilter image (pred key bytes)");
+    }
+    int32_t id = 0;
+    if (!r.ReadI32(&id)) {
+      return Status::ParseError("truncated VFilter image (pred id)");
+    }
+    filter.mutable_pred_ids()[key] = id;
+  }
+
+  uint32_t num_views = 0;
+  if (!r.ReadU32(&num_views) || num_views > bytes.size() / 8) {
+    return Status::ParseError("truncated VFilter image (views)");
+  }
+  for (uint32_t i = 0; i < num_views; ++i) {
+    int32_t view_id = 0;
+    int32_t num_paths = 0;
+    if (!r.ReadI32(&view_id) || !r.ReadI32(&num_paths)) {
+      return Status::ParseError("truncated VFilter image (view entry)");
+    }
+    filter.mutable_view_path_counts()[view_id] = num_paths;
+  }
+
+  uint32_t num_states = 0;
+  if (!r.ReadU32(&num_states) || num_states > bytes.size() / 8) {
+    return Status::ParseError("truncated VFilter image (states)");
+  }
+  auto& states = filter.mutable_nfa().mutable_states();
+  states.clear();
+  states.resize(num_states);
+  for (uint32_t i = 0; i < num_states; ++i) {
+    PathNfa::State& s = states[i];
+    uint32_t state_flags = 0;
+    uint32_t num_trans = 0;
+    uint32_t num_accepts = 0;
+    if (!r.ReadU32(&state_flags) || !r.ReadIdList(&s.star_trans) ||
+        !r.ReadIdList(&s.loop_states) || !r.ReadU32(&num_trans)) {
+      return Status::ParseError("truncated VFilter image (state)");
+    }
+    s.is_loop = (state_flags & 1u) != 0;
+    s.is_accepting = (state_flags & 2u) != 0;
+    if (num_trans > bytes.size() / 8) {
+      return Status::ParseError("corrupt VFilter image (transition count)");
+    }
+    for (uint32_t t = 0; t < num_trans; ++t) {
+      int32_t label = 0;
+      std::vector<StateId> targets;
+      if (!r.ReadI32(&label) || !r.ReadIdList(&targets)) {
+        return Status::ParseError("truncated VFilter image (transition)");
+      }
+      s.label_trans.emplace(label, std::move(targets));
+    }
+    uint32_t num_pred_trans = 0;
+    if (!r.ReadU32(&num_pred_trans) || num_pred_trans > bytes.size() / 8) {
+      return Status::ParseError("truncated VFilter image (pred trans count)");
+    }
+    for (uint32_t t = 0; t < num_pred_trans; ++t) {
+      int32_t token = 0;
+      std::vector<StateId> targets;
+      if (!r.ReadI32(&token) || !r.ReadIdList(&targets)) {
+        return Status::ParseError("truncated VFilter image (pred trans)");
+      }
+      s.pred_trans.emplace(token, std::move(targets));
+    }
+    if (!r.ReadU32(&num_accepts) || num_accepts > bytes.size() / 12) {
+      return Status::ParseError("truncated VFilter image (accepts)");
+    }
+    for (uint32_t a = 0; a < num_accepts; ++a) {
+      AcceptEntry e;
+      if (!r.ReadI32(&e.view_id) || !r.ReadI32(&e.path_id) ||
+          !r.ReadI32(&e.length)) {
+        return Status::ParseError("truncated VFilter image (accept entry)");
+      }
+      s.accepts.push_back(e);
+    }
+  }
+  // Validate every referenced state id so a corrupt image can never index
+  // out of bounds at read time.
+  const auto valid = [&](StateId id) {
+    return id >= 0 && static_cast<uint32_t>(id) < num_states;
+  };
+  for (const PathNfa::State& s : states) {
+    for (StateId t : s.star_trans) {
+      if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
+    }
+    for (StateId t : s.loop_states) {
+      if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
+    }
+    for (const auto& [label, targets] : s.label_trans) {
+      (void)label;
+      for (StateId t : targets) {
+        if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
+      }
+    }
+    for (const auto& [token, targets] : s.pred_trans) {
+      (void)token;
+      for (StateId t : targets) {
+        if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
+      }
+    }
+  }
+  return filter;
+}
+
+size_t SerializedVFilterSize(const VFilter& filter) {
+  return SerializeVFilter(filter).size();
+}
+
+}  // namespace xvr

@@ -1,0 +1,30 @@
+#ifndef XVR_VFILTER_VFILTER_SERDE_H_
+#define XVR_VFILTER_VFILTER_SERDE_H_
+
+// Binary (de)serialization of a VFilter.
+//
+// The paper stores VFILTER in Berkeley DB and reports its database size as
+// it scales from 1000 to 8000 views (Figure 11). We reproduce that with a
+// compact little-endian image suitable for the storage/kv_store substrate;
+// SerializedSize is the Fig. 11 metric.
+
+#include <string>
+
+#include "common/status.h"
+#include "vfilter/vfilter.h"
+
+namespace xvr {
+
+// Serializes the automaton and the view registry.
+std::string SerializeVFilter(const VFilter& filter);
+
+// Rebuilds a filter from an image produced by SerializeVFilter. The options
+// of the returned filter are taken from the image.
+Result<VFilter> DeserializeVFilter(const std::string& bytes);
+
+// Convenience: SerializeVFilter(filter).size() without keeping the buffer.
+size_t SerializedVFilterSize(const VFilter& filter);
+
+}  // namespace xvr
+
+#endif  // XVR_VFILTER_VFILTER_SERDE_H_

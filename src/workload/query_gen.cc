@@ -1,0 +1,232 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace xvr {
+
+QueryGenerator::QueryGenerator(const XmlTree& doc, QueryGenOptions options)
+    : doc_(doc), options_(options) {
+  XVR_CHECK(doc.size() > 0) << "cannot generate queries for an empty tree";
+  root_label_ = doc.label(doc.root());
+  // Schema: distinct children per label, in first-appearance order.
+  std::unordered_map<LabelId, std::unordered_set<LabelId>> seen;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    const auto n = static_cast<NodeId>(i);
+    const NodeId parent = doc.node(n).parent;
+    if (parent == kNullNode) {
+      continue;
+    }
+    const LabelId pl = doc.label(parent);
+    if (seen[pl].insert(doc.label(n)).second) {
+      children_[pl].push_back(doc.label(n));
+    }
+  }
+  // Attribute catalog: per label, the attribute names seen and up to eight
+  // sample values each (kept sorted for determinism).
+  for (size_t i = 0; i < doc.size(); ++i) {
+    const auto n = static_cast<NodeId>(i);
+    const auto* attrs = doc.attributes(n);
+    if (attrs == nullptr) {
+      continue;
+    }
+    auto& infos = attributes_[doc.label(n)];
+    for (const XmlAttribute& a : *attrs) {
+      AttrInfo* info = nullptr;
+      for (AttrInfo& candidate : infos) {
+        if (candidate.name == a.name) {
+          info = &candidate;
+          break;
+        }
+      }
+      if (info == nullptr) {
+        infos.push_back(AttrInfo{a.name, {}});
+        info = &infos.back();
+      }
+      if (info->values.size() < 8 &&
+          std::find(info->values.begin(), info->values.end(), a.value) ==
+              info->values.end()) {
+        info->values.push_back(a.value);
+      }
+    }
+  }
+
+  // Proper-descendant closure (BFS per label; the schema graph may contain
+  // cycles, e.g. parlist -> listitem -> parlist).
+  for (const auto& [label, kids] : children_) {
+    (void)kids;
+    std::vector<LabelId> frontier = {label};
+    std::unordered_set<LabelId> reach;
+    while (!frontier.empty()) {
+      const LabelId cur = frontier.back();
+      frontier.pop_back();
+      auto it = children_.find(cur);
+      if (it == children_.end()) {
+        continue;
+      }
+      for (LabelId c : it->second) {
+        if (reach.insert(c).second) {
+          frontier.push_back(c);
+        }
+      }
+    }
+    descendants_[label].assign(reach.begin(), reach.end());
+    // Deterministic order for reproducibility.
+    std::sort(descendants_[label].begin(), descendants_[label].end());
+  }
+}
+
+LabelId QueryGenerator::RandomChild(LabelId from, Rng* rng) const {
+  auto it = children_.find(from);
+  if (it == children_.end() || it->second.empty()) {
+    return kInvalidLabel;
+  }
+  return it->second[rng->NextBounded(it->second.size())];
+}
+
+LabelId QueryGenerator::RandomDescendant(LabelId from, Rng* rng) const {
+  auto it = descendants_.find(from);
+  if (it == descendants_.end() || it->second.empty()) {
+    return kInvalidLabel;
+  }
+  return it->second[rng->NextBounded(it->second.size())];
+}
+
+void QueryGenerator::MaybeAttachAttribute(TreePattern* pattern,
+                                          TreePattern::NodeIndex node,
+                                          LabelId label, Rng* rng) const {
+  if (options_.prob_attr <= 0.0 || !rng->NextBool(options_.prob_attr)) {
+    return;
+  }
+  if (pattern->node(node).value_pred.has_value() ||
+      pattern->label(node) == kWildcardLabel) {
+    return;
+  }
+  auto it = attributes_.find(label);
+  if (it == attributes_.end() || it->second.empty()) {
+    return;
+  }
+  const AttrInfo& info =
+      it->second[rng->NextBounded(it->second.size())];
+  if (info.values.empty()) {
+    return;
+  }
+  ValuePredicate pred;
+  pred.attribute = info.name;
+  pred.op = ValuePredicate::Op::kEq;
+  pred.value = info.values[rng->NextBounded(info.values.size())];
+  pattern->SetValuePredicate(node, std::move(pred));
+}
+
+bool QueryGenerator::AppendWalk(TreePattern* pattern,
+                                TreePattern::NodeIndex at, LabelId label,
+                                int steps, bool allow_wildcards,
+                                Rng* rng) const {
+  TreePattern::NodeIndex cur = at;
+  LabelId cur_label = label;
+  int made = 0;
+  for (int s = 0; s < steps; ++s) {
+    const bool desc = rng->NextBool(options_.prob_desc);
+    const LabelId next =
+        desc ? RandomDescendant(cur_label, rng) : RandomChild(cur_label, rng);
+    if (next == kInvalidLabel) {
+      break;
+    }
+    const bool wild = allow_wildcards && rng->NextBool(options_.prob_wild);
+    cur = pattern->AddChild(cur, desc ? Axis::kDescendant : Axis::kChild,
+                            wild ? kWildcardLabel : next);
+    if (!wild) {
+      MaybeAttachAttribute(pattern, cur, next, rng);
+    }
+    cur_label = next;
+    ++made;
+  }
+  return made > 0;
+}
+
+TreePattern QueryGenerator::Generate(Rng* rng) const {
+  TreePattern pattern;
+  std::vector<LabelId> real_labels;          // per main-path node
+  std::vector<TreePattern::NodeIndex> path;  // main-path nodes
+
+  // Anchor: usually the document root with '/', sometimes '//' from a
+  // random schema label.
+  LabelId cur_label = root_label_;
+  Axis anchor = Axis::kChild;
+  if (rng->NextBool(options_.prob_desc)) {
+    const LabelId jump = RandomDescendant(root_label_, rng);
+    if (jump != kInvalidLabel) {
+      cur_label = jump;
+      anchor = Axis::kDescendant;
+    }
+  }
+  TreePattern::NodeIndex cur = pattern.AddRoot(cur_label, anchor);
+  real_labels.push_back(cur_label);
+  path.push_back(cur);
+
+  const int depth = rng->NextInt(2, std::max(2, options_.max_depth));
+  for (int step = 1; step < depth; ++step) {
+    const bool desc = rng->NextBool(options_.prob_desc);
+    const LabelId next =
+        desc ? RandomDescendant(cur_label, rng) : RandomChild(cur_label, rng);
+    if (next == kInvalidLabel) {
+      break;
+    }
+    const bool wild = rng->NextBool(options_.prob_wild);
+    cur = pattern.AddChild(cur, desc ? Axis::kDescendant : Axis::kChild,
+                           wild ? kWildcardLabel : next);
+    if (!wild) {
+      MaybeAttachAttribute(&pattern, cur, next, rng);
+    }
+    cur_label = next;
+    real_labels.push_back(next);
+    path.push_back(cur);
+  }
+  pattern.SetAnswer(path.back());
+
+  // Branch predicates.
+  for (int p = 0; p < options_.num_pred; ++p) {
+    // Attach to a random main-path node that has schema children.
+    std::vector<size_t> anchors;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (children_.count(real_labels[i]) > 0) {
+        anchors.push_back(i);
+      }
+    }
+    if (anchors.empty()) {
+      break;
+    }
+    const size_t a = anchors[rng->NextBounded(anchors.size())];
+    const int steps = rng->NextInt(1, std::max(1, options_.num_nestedpath));
+    AppendWalk(&pattern, path[a], real_labels[a], steps,
+               /*allow_wildcards=*/true, rng);
+  }
+  return pattern;
+}
+
+std::vector<TreePattern> QueryGenerator::GenerateAccepted(
+    size_t count, Rng* rng,
+    const std::function<bool(const TreePattern&)>& accept,
+    size_t max_attempts) const {
+  if (max_attempts == 0) {
+    max_attempts = count * 200;
+  }
+  std::vector<TreePattern> out;
+  std::unordered_set<std::string> seen;
+  for (size_t attempt = 0; attempt < max_attempts && out.size() < count;
+       ++attempt) {
+    TreePattern q = Generate(rng);
+    if (!seen.insert(q.CanonicalKey()).second) {
+      continue;
+    }
+    if (accept && !accept(q)) {
+      continue;
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace xvr

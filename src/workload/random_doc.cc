@@ -1,0 +1,54 @@
+#include "workload/random_doc.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xvr {
+
+XmlTree GenerateRandomDoc(const RandomDocOptions& options) {
+  Rng rng(options.seed);
+  XmlTree tree;
+  std::vector<LabelId> labels;
+  labels.reserve(static_cast<size_t>(options.alphabet_size));
+  for (int i = 0; i < options.alphabet_size; ++i) {
+    labels.push_back(tree.labels().Intern("l" + std::to_string(i)));
+  }
+  const auto random_label = [&]() {
+    return labels[rng.NextBounded(labels.size())];
+  };
+
+  const NodeId root = tree.CreateRoot(random_label());
+  // Grow by attaching to a random node that still has capacity. Keeping the
+  // open list biased toward recent nodes yields a mix of deep chains and
+  // wide fans.
+  struct Open {
+    NodeId node;
+    int children = 0;
+  };
+  std::vector<Open> open = {{root, 0}};
+  while (tree.size() < options.num_nodes && !open.empty()) {
+    // Bias toward the back (recent nodes) half the time for depth.
+    const size_t pick =
+        rng.NextBool(0.5)
+            ? open.size() - 1 - rng.NextBounded((open.size() + 3) / 4)
+            : rng.NextBounded(open.size());
+    Open& slot = open[pick];
+    const NodeId child = tree.AppendChild(slot.node, random_label());
+    if (++slot.children >= options.max_children) {
+      open.erase(open.begin() + static_cast<long>(pick));
+    }
+    if (rng.NextBool(options.attr_probability)) {
+      tree.AddAttribute(child, "a", std::to_string(rng.NextBounded(3)));
+    }
+    if (rng.NextBool(options.text_probability)) {
+      tree.SetText(child, "t" + std::to_string(rng.NextBounded(5)));
+    }
+    open.push_back(Open{child, 0});
+  }
+  tree.AssignDeweyCodes();
+  return tree;
+}
+
+}  // namespace xvr

@@ -1,0 +1,34 @@
+#ifndef XVR_WORKLOAD_RANDOM_DOC_H_
+#define XVR_WORKLOAD_RANDOM_DOC_H_
+
+// Adversarial random documents for property testing: tiny alphabets and
+// unconstrained nesting produce heavy label repetition along root paths —
+// exactly the regime where Dewey-prefix joins face ambiguous anchor
+// assignments and homomorphisms have many competing images. The XMark
+// generator cannot produce such documents (its schema is nearly
+// hierarchical), so the correctness sweeps run over both.
+
+#include <cstdint>
+
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+struct RandomDocOptions {
+  uint64_t seed = 1;
+  size_t num_nodes = 400;
+  // Labels are "l0".."l<alphabet_size-1>"; small values maximize repetition.
+  int alphabet_size = 4;
+  int max_children = 5;
+  // Probability that a node gets an attribute a="0".."2".
+  double attr_probability = 0.2;
+  // Probability that a node gets a short text payload.
+  double text_probability = 0.1;
+};
+
+// Generates the tree and assigns extended Dewey codes.
+XmlTree GenerateRandomDoc(const RandomDocOptions& options);
+
+}  // namespace xvr
+
+#endif  // XVR_WORKLOAD_RANDOM_DOC_H_

@@ -1,0 +1,95 @@
+#include "workload/workloads.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "pattern/evaluate.h"
+
+namespace xvr {
+
+const std::vector<TableIIIQuery>& TableIII() {
+  static const std::vector<TableIIIQuery>* kQueries = new std::vector<
+      TableIIIQuery>{
+      {"Q1",
+       "/site/people/person[profile/interest]/name",
+       {"//person[profile/interest]/name"}},
+      {"Q2",
+       "/site/open_auctions/open_auction[bidder/increase][seller]/current",
+       {"/site/open_auctions/open_auction[bidder/increase]/current",
+        "//open_auction[seller]/bidder/increase"}},
+      {"Q3",
+       "/site/regions/africa/item[incategory][mailbox/mail/from]/name",
+       {"/site/regions/africa/item[incategory]/name",
+        "/site/regions/africa/item/mailbox/mail/from"}},
+      {"Q4",
+       "/site/closed_auctions/closed_auction[annotation/author][itemref]/date",
+       {"//closed_auction/date", "//closed_auction/annotation/author",
+        "//closed_auction/itemref"}},
+  };
+  return *kQueries;
+}
+
+std::vector<TreePattern> GenerateViewSet(const XmlTree& doc, size_t count,
+                                         const QueryGenOptions& options,
+                                         uint64_t seed) {
+  QueryGenerator generator(doc, options);
+  Rng rng(seed);
+  return generator.GenerateAccepted(count, &rng, nullptr);
+}
+
+PaperSetup BuildPaperSetup(const XmarkOptions& xmark, size_t num_views,
+                           uint64_t seed, EngineOptions engine_options) {
+  PaperSetup setup;
+  setup.engine =
+      std::make_unique<Engine>(GenerateXmark(xmark), engine_options);
+  Engine& engine = *setup.engine;
+
+  // The Table III queries and their companion views.
+  for (const TableIIIQuery& tq : TableIII()) {
+    Result<TreePattern> query = engine.Parse(tq.xpath);
+    XVR_CHECK(query.ok()) << tq.name << ": " << query.status().ToString();
+    setup.queries.push_back(std::move(query).value());
+    setup.query_names.push_back(tq.name);
+    for (const std::string& vx : tq.companion_views) {
+      Result<TreePattern> view = engine.Parse(vx);
+      XVR_CHECK(view.ok()) << vx << ": " << view.status().ToString();
+      Result<int32_t> added = engine.AddView(std::move(view).value());
+      XVR_CHECK(added.ok()) << "companion view " << vx
+                            << " failed to materialize: "
+                            << added.status().ToString();
+      ++setup.views_materialized;
+    }
+  }
+
+  // Fill up with generated positive, materializable views (the paper's
+  // workload parameters).
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.prob_wild = 0.2;
+  gen_options.prob_desc = 0.2;
+  gen_options.num_pred = 1;
+  gen_options.num_nestedpath = 1;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  for (int32_t id : engine.view_ids()) {
+    seen.insert(engine.view(id)->CanonicalKey());
+  }
+  size_t attempts = 0;
+  const size_t max_attempts = num_views * 400;
+  while (setup.views_materialized < num_views && attempts < max_attempts) {
+    ++attempts;
+    TreePattern candidate = generator.Generate(&rng);
+    if (!seen.insert(candidate.CanonicalKey()).second) {
+      continue;
+    }
+    Result<int32_t> added = engine.AddView(std::move(candidate));
+    if (added.ok()) {
+      ++setup.views_materialized;
+    }
+  }
+  return setup;
+}
+
+}  // namespace xvr

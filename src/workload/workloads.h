@@ -1,0 +1,51 @@
+#ifndef XVR_WORKLOAD_WORKLOADS_H_
+#define XVR_WORKLOAD_WORKLOADS_H_
+
+// Canned workloads mirroring the paper's experimental setup (§VI): the
+// XMark-style document, 1000 materialized positive views (max_depth 4,
+// prob_wild = prob_desc = 0.2, num_pred = 1, num_nestedpath = 1), the four
+// Table III test queries answered by 1/2/2/3 views, and the larger view
+// sets V1..V8 (1000..8000 views, num_nestedpath = 2) for the VFILTER
+// experiments.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/query_gen.h"
+#include "workload/xmark.h"
+
+namespace xvr {
+
+// The Table III analogues. Each query comes with hand-crafted companion
+// views that guarantee it is answerable by exactly the advertised number of
+// views (1, 2, 2 and 3).
+struct TableIIIQuery {
+  std::string name;                  // "Q1".."Q4"
+  std::string xpath;
+  std::vector<std::string> companion_views;
+};
+
+const std::vector<TableIIIQuery>& TableIII();
+
+// Generates `count` distinct view patterns over the document's schema.
+std::vector<TreePattern> GenerateViewSet(const XmlTree& doc, size_t count,
+                                         const QueryGenOptions& options,
+                                         uint64_t seed);
+
+// The full §VI-A setup: document + engine with `num_views` materialized
+// views (companion views for Q1..Q4 included) + the parsed test queries.
+struct PaperSetup {
+  std::unique_ptr<Engine> engine;
+  std::vector<TreePattern> queries;        // Q1..Q4
+  std::vector<std::string> query_names;    // "Q1".."Q4"
+  size_t views_materialized = 0;
+};
+
+PaperSetup BuildPaperSetup(const XmarkOptions& xmark, size_t num_views,
+                           uint64_t seed, EngineOptions engine_options = {});
+
+}  // namespace xvr
+
+#endif  // XVR_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,288 @@
+#include "workload/xmark.h"
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+
+namespace xvr {
+namespace {
+
+constexpr std::array<const char*, 24> kWords = {
+    "auction", "bid",      "vintage", "rare",    "mint",   "antique",
+    "classic", "signed",   "limited", "edition", "boxed",  "restored",
+    "modern",  "original", "sealed",  "custom",  "deluxe", "compact",
+    "premium", "standard", "bargain", "quality", "used",   "new"};
+
+class Generator {
+ public:
+  explicit Generator(const XmarkOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  XmlTree Build() {
+    site_ = tree_.labels().Intern("site");
+    const NodeId site = tree_.CreateRoot(site_);
+    BuildRegions(site);
+    BuildPeople(site);
+    BuildOpenAuctions(site);
+    BuildClosedAuctions(site);
+    BuildCategories(site);
+    tree_.AssignDeweyCodes();
+    return std::move(tree_);
+  }
+
+ private:
+  int Scaled(int n) const {
+    const int v = static_cast<int>(n * options_.scale);
+    return v < 1 ? 1 : v;
+  }
+
+  std::string Words(int count) {
+    std::string out;
+    for (int i = 0; i < count; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += kWords[rng_.NextBounded(kWords.size())];
+    }
+    return out;
+  }
+
+  NodeId Add(NodeId parent, const char* label) {
+    return tree_.AppendChild(parent, tree_.labels().Intern(label));
+  }
+
+  NodeId AddText(NodeId parent, const char* label, int words) {
+    const NodeId n = Add(parent, label);
+    tree_.SetText(n, Words(words));
+    return n;
+  }
+
+  void BuildDescription(NodeId parent, int depth) {
+    const NodeId description = Add(parent, "description");
+    if (depth <= 0 || rng_.NextBool(0.6)) {
+      AddText(description, "text", 4);
+      return;
+    }
+    BuildParlist(description, depth);
+  }
+
+  void BuildParlist(NodeId parent, int depth) {
+    const NodeId parlist = Add(parent, "parlist");
+    const int items = rng_.NextInt(1, 3);
+    for (int i = 0; i < items; ++i) {
+      const NodeId listitem = Add(parlist, "listitem");
+      if (depth > 1 && rng_.NextBool(0.3)) {
+        BuildParlist(listitem, depth - 1);
+      } else {
+        AddText(listitem, "text", 3);
+      }
+    }
+  }
+
+  void BuildRegions(NodeId site) {
+    static constexpr std::array<const char*, 6> kRegions = {
+        "africa", "asia", "australia", "europe", "namerica", "samerica"};
+    const NodeId regions = Add(site, "regions");
+    for (const char* region_name : kRegions) {
+      const NodeId region = Add(regions, region_name);
+      const int items = Scaled(options_.items_per_region);
+      for (int i = 0; i < items; ++i) {
+        const NodeId item = Add(region, "item");
+        tree_.AddAttribute(item, "id",
+                           "item" + std::to_string(next_item_id_++));
+        AddText(item, "location", 1);
+        AddText(item, "quantity", 1);
+        AddText(item, "name", 2);
+        AddText(item, "payment", 1);
+        BuildDescription(item, options_.max_parlist_depth);
+        if (rng_.NextBool(0.5)) {
+          Add(item, "shipping");
+        }
+        const int cats = rng_.NextInt(0, 2);
+        for (int c = 0; c < cats; ++c) {
+          const NodeId incat = Add(item, "incategory");
+          tree_.AddAttribute(
+              incat, "category",
+              "category" + std::to_string(rng_.NextBounded(
+                               static_cast<uint64_t>(
+                                   Scaled(options_.num_categories)))));
+        }
+        if (rng_.NextBool(0.6)) {
+          const NodeId mailbox = Add(item, "mailbox");
+          const int mails = rng_.NextInt(1, 2);
+          for (int m = 0; m < mails; ++m) {
+            const NodeId mail = Add(mailbox, "mail");
+            AddText(mail, "from", 1);
+            AddText(mail, "to", 1);
+            AddText(mail, "date", 1);
+            AddText(mail, "text", 5);
+          }
+        }
+      }
+    }
+  }
+
+  void BuildPeople(NodeId site) {
+    const NodeId people = Add(site, "people");
+    const int count = Scaled(options_.num_people);
+    for (int i = 0; i < count; ++i) {
+      const NodeId person = Add(people, "person");
+      tree_.AddAttribute(person, "id", "person" + std::to_string(i));
+      AddText(person, "name", 2);
+      AddText(person, "emailaddress", 1);
+      if (rng_.NextBool(0.6)) {
+        AddText(person, "phone", 1);
+      }
+      if (rng_.NextBool(0.7)) {
+        const NodeId address = Add(person, "address");
+        AddText(address, "street", 2);
+        AddText(address, "city", 1);
+        AddText(address, "country", 1);
+        AddText(address, "zipcode", 1);
+      }
+      if (rng_.NextBool(0.3)) {
+        AddText(person, "homepage", 1);
+      }
+      if (rng_.NextBool(0.5)) {
+        AddText(person, "creditcard", 1);
+      }
+      if (rng_.NextBool(0.75)) {
+        const NodeId profile = Add(person, "profile");
+        tree_.AddAttribute(profile, "income",
+                           std::to_string(20000 + rng_.NextBounded(80000)));
+        const int interests = rng_.NextInt(0, 3);
+        for (int k = 0; k < interests; ++k) {
+          const NodeId interest = Add(profile, "interest");
+          tree_.AddAttribute(
+              interest, "category",
+              "category" + std::to_string(rng_.NextBounded(
+                               static_cast<uint64_t>(
+                                   Scaled(options_.num_categories)))));
+        }
+        if (rng_.NextBool(0.5)) {
+          AddText(profile, "education", 1);
+        }
+        if (rng_.NextBool(0.8)) {
+          AddText(profile, "gender", 1);
+        }
+        AddText(profile, "business", 1);
+        if (rng_.NextBool(0.6)) {
+          AddText(profile, "age", 1);
+        }
+      }
+      if (rng_.NextBool(0.4)) {
+        const NodeId watches = Add(person, "watches");
+        const int n = rng_.NextInt(1, 3);
+        for (int w = 0; w < n; ++w) {
+          const NodeId watch = Add(watches, "watch");
+          tree_.AddAttribute(
+              watch, "open_auction",
+              "auction" + std::to_string(rng_.NextBounded(
+                              static_cast<uint64_t>(
+                                  Scaled(options_.num_open_auctions)))));
+        }
+      }
+    }
+  }
+
+  void AddPersonRef(NodeId parent, const char* label) {
+    const NodeId n = Add(parent, label);
+    tree_.AddAttribute(
+        n, "person",
+        "person" + std::to_string(rng_.NextBounded(static_cast<uint64_t>(
+                       Scaled(options_.num_people)))));
+  }
+
+  void BuildAnnotation(NodeId parent) {
+    const NodeId annotation = Add(parent, "annotation");
+    AddPersonRef(annotation, "author");
+    BuildDescription(annotation, 1);
+    AddText(annotation, "happiness", 1);
+  }
+
+  void BuildOpenAuctions(NodeId site) {
+    const NodeId auctions = Add(site, "open_auctions");
+    const int count = Scaled(options_.num_open_auctions);
+    for (int i = 0; i < count; ++i) {
+      const NodeId auction = Add(auctions, "open_auction");
+      tree_.AddAttribute(auction, "id", "auction" + std::to_string(i));
+      AddText(auction, "initial", 1);
+      if (rng_.NextBool(0.4)) {
+        AddText(auction, "reserve", 1);
+      }
+      const int bidders = rng_.NextInt(0, 4);
+      for (int b = 0; b < bidders; ++b) {
+        const NodeId bidder = Add(auction, "bidder");
+        AddText(bidder, "date", 1);
+        AddText(bidder, "time", 1);
+        AddPersonRef(bidder, "personref");
+        AddText(bidder, "increase", 1);
+      }
+      AddText(auction, "current", 1);
+      if (rng_.NextBool(0.3)) {
+        AddText(auction, "privacy", 1);
+      }
+      const NodeId itemref = Add(auction, "itemref");
+      tree_.AddAttribute(
+          itemref, "item",
+          "item" + std::to_string(rng_.NextBounded(
+                       static_cast<uint64_t>(next_item_id_ > 0
+                                                 ? next_item_id_
+                                                 : 1))));
+      AddPersonRef(auction, "seller");
+      BuildAnnotation(auction);
+      AddText(auction, "quantity", 1);
+      AddText(auction, "type", 1);
+      const NodeId interval = Add(auction, "interval");
+      AddText(interval, "start", 1);
+      AddText(interval, "end", 1);
+    }
+  }
+
+  void BuildClosedAuctions(NodeId site) {
+    const NodeId auctions = Add(site, "closed_auctions");
+    const int count = Scaled(options_.num_closed_auctions);
+    for (int i = 0; i < count; ++i) {
+      const NodeId auction = Add(auctions, "closed_auction");
+      AddPersonRef(auction, "seller");
+      AddPersonRef(auction, "buyer");
+      const NodeId itemref = Add(auction, "itemref");
+      tree_.AddAttribute(
+          itemref, "item",
+          "item" + std::to_string(rng_.NextBounded(
+                       static_cast<uint64_t>(next_item_id_ > 0
+                                                 ? next_item_id_
+                                                 : 1))));
+      AddText(auction, "price", 1);
+      AddText(auction, "date", 1);
+      AddText(auction, "quantity", 1);
+      AddText(auction, "type", 1);
+      BuildAnnotation(auction);
+    }
+  }
+
+  void BuildCategories(NodeId site) {
+    const NodeId categories = Add(site, "categories");
+    const int count = Scaled(options_.num_categories);
+    for (int i = 0; i < count; ++i) {
+      const NodeId category = Add(categories, "category");
+      tree_.AddAttribute(category, "id", "category" + std::to_string(i));
+      AddText(category, "name", 1);
+      BuildDescription(category, 1);
+    }
+  }
+
+  XmarkOptions options_;
+  Rng rng_;
+  XmlTree tree_;
+  LabelId site_ = kInvalidLabel;
+  int next_item_id_ = 0;
+};
+
+}  // namespace
+
+XmlTree GenerateXmark(const XmarkOptions& options) {
+  Generator generator(options);
+  return generator.Build();
+}
+
+}  // namespace xvr

@@ -1,0 +1,33 @@
+#ifndef XVR_WORKLOAD_XMARK_H_
+#define XVR_WORKLOAD_XMARK_H_
+
+// A structurally XMark-like synthetic auction document generator (the paper
+// evaluates on an XMark document; §VI). The element vocabulary and nesting
+// mirror the XMark DTD — site / regions / items, people, open and closed
+// auctions, categories, and the recursive parlist/listitem text structure —
+// at a configurable scale, deterministically from a seed.
+
+#include <cstdint>
+
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+struct XmarkOptions {
+  uint64_t seed = 42;
+  // Scale multiplies every entity count below.
+  double scale = 1.0;
+  int items_per_region = 40;  // six regions
+  int num_people = 120;
+  int num_open_auctions = 60;
+  int num_closed_auctions = 40;
+  int num_categories = 20;
+  int max_parlist_depth = 2;
+};
+
+// Generates the document and assigns extended Dewey codes.
+XmlTree GenerateXmark(const XmarkOptions& options);
+
+}  // namespace xvr
+
+#endif  // XVR_WORKLOAD_XMARK_H_

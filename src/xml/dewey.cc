@@ -1,0 +1,86 @@
+#include "xml/dewey.h"
+
+#include <cstdlib>
+
+namespace xvr {
+
+DeweyCode DeweyCode::Parent() const {
+  if (components_.empty()) {
+    return DeweyCode();
+  }
+  return Prefix(components_.size() - 1);
+}
+
+DeweyCode DeweyCode::Prefix(size_t len) const {
+  if (len >= components_.size()) {
+    return *this;
+  }
+  return DeweyCode(std::vector<uint32_t>(components_.begin(),
+                                         components_.begin() +
+                                             static_cast<long>(len)));
+}
+
+bool DeweyCode::IsPrefixOf(const DeweyCode& other) const {
+  if (components_.size() > other.components_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t DeweyCode::CommonPrefixLength(const DeweyCode& other) const {
+  const size_t n = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < n && components_[i] == other.components_[i]) {
+    ++i;
+  }
+  return i;
+}
+
+std::string DeweyCode::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+bool DeweyCode::FromString(const std::string& text, DeweyCode* out) {
+  out->components_.clear();
+  if (text.empty()) {
+    return true;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t dot = text.find('.', pos);
+    if (dot == std::string::npos) dot = text.size();
+    if (dot == pos) return false;  // empty component
+    uint32_t value = 0;
+    for (size_t i = pos; i < dot; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+    }
+    out->components_.push_back(value);
+    if (dot == text.size()) break;
+    pos = dot + 1;
+  }
+  return true;
+}
+
+size_t DeweyCodeHash::operator()(const DeweyCode& code) const {
+  // FNV-1a over the components.
+  size_t h = 1469598103934665603ULL;
+  for (uint32_t c : code.components()) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace xvr

@@ -1,0 +1,69 @@
+#include "xml/fst.h"
+
+#include "common/logging.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+namespace {
+const std::vector<LabelId> kEmptyLabels;
+}  // namespace
+
+Fst Fst::Build(const XmlTree& tree) {
+  Fst fst;
+  if (tree.root() == kNullNode) {
+    return fst;
+  }
+  // The virtual super-root has the document root as its only child label.
+  fst.children_[kInvalidLabel].push_back(tree.label(tree.root()));
+  fst.index_[Key(kInvalidLabel, tree.label(tree.root()))] = 0;
+
+  // DFS over the tree collecting, per label, child labels in first-appearance
+  // order.
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const LabelId parent_label = tree.label(id);
+    for (NodeId c = tree.node(id).first_child; c != kNullNode;
+         c = tree.node(c).next_sibling) {
+      const LabelId child_label = tree.label(c);
+      const int64_t key = Key(parent_label, child_label);
+      if (fst.index_.find(key) == fst.index_.end()) {
+        auto& list = fst.children_[parent_label];
+        fst.index_[key] = static_cast<int>(list.size());
+        list.push_back(child_label);
+      }
+      stack.push_back(c);
+    }
+  }
+  return fst;
+}
+
+const std::vector<LabelId>& Fst::ChildLabels(LabelId parent) const {
+  auto it = children_.find(parent);
+  return it == children_.end() ? kEmptyLabels : it->second;
+}
+
+int Fst::ChildIndex(LabelId parent, LabelId child) const {
+  auto it = index_.find(Key(parent, child));
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool Fst::Decode(const std::vector<uint32_t>& code,
+                 std::vector<LabelId>* path) const {
+  path->clear();
+  path->reserve(code.size());
+  LabelId state = kInvalidLabel;
+  for (uint32_t component : code) {
+    const std::vector<LabelId>& labels = ChildLabels(state);
+    if (labels.empty()) {
+      return false;
+    }
+    const LabelId next = labels[component % labels.size()];
+    path->push_back(next);
+    state = next;
+  }
+  return true;
+}
+
+}  // namespace xvr

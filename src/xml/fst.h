@@ -1,0 +1,59 @@
+#ifndef XVR_XML_FST_H_
+#define XVR_XML_FST_H_
+
+// The finite state transducer of the paper (Figure 3): decodes an extended
+// Dewey code into the label path of the node, using only the document schema
+// (for each label, the ordered list of distinct child labels).
+//
+// Example 2.1 of the paper: code 0.8.6 with schema b -> {t,a,s}, s -> {t,p,s,f}
+// decodes as b/s/s because 8 mod 3 = 2 picks `s` under `b`, and 6 mod 4 = 2
+// picks `s` under `s`.
+
+#include <unordered_map>
+#include <vector>
+
+#include "xml/label_dict.h"
+
+namespace xvr {
+
+class XmlTree;
+
+class Fst {
+ public:
+  // Builds the transducer from the schema observed in `tree`: child-label
+  // lists are ordered by first appearance (deterministic for a given tree).
+  static Fst Build(const XmlTree& tree);
+
+  // Distinct child labels of `parent` in first-appearance order. `parent` ==
+  // kInvalidLabel denotes the virtual super-root (its children are the
+  // possible document root labels).
+  const std::vector<LabelId>& ChildLabels(LabelId parent) const;
+
+  // Index of `child` in ChildLabels(parent), or -1 if not in the schema.
+  int ChildIndex(LabelId parent, LabelId child) const;
+
+  size_t ChildCount(LabelId parent) const { return ChildLabels(parent).size(); }
+
+  // Decodes `code` into the root-to-node label path. Returns false if the
+  // code is not derivable from this schema.
+  bool Decode(const std::vector<uint32_t>& code,
+              std::vector<LabelId>* path) const;
+
+  // Number of labels with a non-empty child list (states with transitions).
+  size_t num_states() const { return children_.size(); }
+
+ private:
+  // parent label (kInvalidLabel for the super-root) -> ordered child labels.
+  std::unordered_map<LabelId, std::vector<LabelId>> children_;
+  // (parent, child) -> index, flattened for O(1) ChildIndex.
+  std::unordered_map<int64_t, int> index_;
+
+  static int64_t Key(LabelId parent, LabelId child) {
+    return (static_cast<int64_t>(parent) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(child));
+  }
+};
+
+}  // namespace xvr
+
+#endif  // XVR_XML_FST_H_

@@ -1,0 +1,37 @@
+#include "xml/label_dict.h"
+
+#include "common/logging.h"
+
+namespace xvr {
+namespace {
+const std::string kWildcardName = "*";
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+LabelId LabelDict::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDict::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelDict::Name(LabelId id) const {
+  if (id == kWildcardLabel) {
+    return kWildcardName;
+  }
+  if (id < 0 || static_cast<size_t>(id) >= names_.size()) {
+    return kInvalidName;
+  }
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace xvr

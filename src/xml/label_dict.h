@@ -1,0 +1,53 @@
+#ifndef XVR_XML_LABEL_DICT_H_
+#define XVR_XML_LABEL_DICT_H_
+
+// Interning dictionary mapping element names to dense integer label ids.
+//
+// The paper models XML labels over a finite alphabet L; every structure in
+// this library (trees, patterns, the VFILTER NFA) works on LabelId instead of
+// strings so that comparisons and hash transitions are O(1).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xvr {
+
+using LabelId = int32_t;
+
+// A label id that is never produced by a dictionary.
+inline constexpr LabelId kInvalidLabel = -1;
+
+// The wildcard "*" of tree patterns. Not a dictionary entry: it matches any
+// label and is handled structurally by pattern algorithms.
+inline constexpr LabelId kWildcardLabel = -2;
+
+// A reserved label for synthetic anchor nodes (used when comparing pattern
+// branches hung under a common document node). Matches only itself.
+inline constexpr LabelId kAnchorLabel = -3;
+
+class LabelDict {
+ public:
+  LabelDict() = default;
+
+  // Returns the id for `name`, creating it on first use.
+  LabelId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidLabel if it was never interned.
+  LabelId Find(std::string_view name) const;
+
+  // Name of an interned id; "*" for kWildcardLabel.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_XML_LABEL_DICT_H_

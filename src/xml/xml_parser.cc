@@ -1,0 +1,294 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xvr {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlTree> Parse() {
+    SkipMisc();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    XmlTree tree;
+    Status s = ParseElement(&tree, kNullNode);
+    if (!s.ok()) return s;
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("trailing content after root element");
+    }
+    return tree;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Skips whitespace, comments, PIs and DOCTYPE between top-level content.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (TryConsume("<!--")) {
+        const size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else if (TryConsume("<?")) {
+        const size_t end = input_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      } else if (input_.substr(pos_, 9) == "<!DOCTYPE") {
+        // Skip to the matching '>' (internal subsets use nested brackets).
+        int depth = 0;
+        while (!AtEnd()) {
+          const char c = Peek();
+          Advance();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return Error("expected name");
+    }
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      Advance();
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Decodes &amp; &lt; &gt; &quot; &apos; and &#NN;/&#xNN; references.
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity reference");
+      }
+      const std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "amp") {
+        out.push_back('&');
+      } else if (name == "lt") {
+        out.push_back('<');
+      } else if (name == "gt") {
+        out.push_back('>');
+      } else if (name == "quot") {
+        out.push_back('"');
+      } else if (name == "apos") {
+        out.push_back('\'');
+      } else if (!name.empty() && name[0] == '#') {
+        int code = 0;
+        if (name.size() > 1 && (name[1] == 'x' || name[1] == 'X')) {
+          for (size_t j = 2; j < name.size(); ++j) {
+            code = code * 16;
+            const char c = name[j];
+            if (c >= '0' && c <= '9') code += c - '0';
+            else if (c >= 'a' && c <= 'f') code += c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F') code += c - 'A' + 10;
+            else return Status::ParseError("bad hex character reference");
+          }
+        } else {
+          for (size_t j = 1; j < name.size(); ++j) {
+            if (name[j] < '0' || name[j] > '9') {
+              return Status::ParseError("bad character reference");
+            }
+            code = code * 10 + (name[j] - '0');
+          }
+        }
+        // Only ASCII/Latin-1 range is emitted literally; higher code points
+        // pass through as '?' (sufficient for structural workloads).
+        out.push_back(code > 0 && code < 256 ? static_cast<char>(code) : '?');
+      } else {
+        return Status::ParseError("unknown entity &" + std::string(name) +
+                                  ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseElement(XmlTree* tree, NodeId parent) {
+    if (!TryConsume("<")) {
+      return Error("expected '<'");
+    }
+    std::string name;
+    XVR_ASSIGN_OR_RETURN(name, ParseName());
+    const LabelId label = tree->labels().Intern(name);
+    const NodeId node = parent == kNullNode ? tree->CreateRoot(label)
+                                            : tree->AppendChild(parent, label);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Error("unterminated start tag");
+      }
+      if (Peek() == '>' || Peek() == '/') {
+        break;
+      }
+      std::string attr_name;
+      XVR_ASSIGN_OR_RETURN(attr_name, ParseName());
+      SkipWhitespace();
+      if (!TryConsume("=")) {
+        return Error("expected '=' after attribute name");
+      }
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      Advance();
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) {
+        Advance();
+      }
+      if (AtEnd()) {
+        return Error("unterminated attribute value");
+      }
+      std::string value;
+      XVR_ASSIGN_OR_RETURN(value,
+                           DecodeEntities(input_.substr(start, pos_ - start)));
+      Advance();  // closing quote
+      tree->AddAttribute(node, std::move(attr_name), std::move(value));
+    }
+    if (TryConsume("/>")) {
+      return Status::Ok();
+    }
+    if (!TryConsume(">")) {
+      return Error("expected '>'");
+    }
+    // Content.
+    std::string text;
+    for (;;) {
+      if (AtEnd()) {
+        return Error("unterminated element <" + name + ">");
+      }
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          pos_ += 2;
+          std::string close;
+          XVR_ASSIGN_OR_RETURN(close, ParseName());
+          if (close != name) {
+            return Error("mismatched close tag </" + close + "> for <" +
+                         name + ">");
+          }
+          SkipWhitespace();
+          if (!TryConsume(">")) {
+            return Error("expected '>' in close tag");
+          }
+          break;
+        }
+        if (TryConsume("<!--")) {
+          const size_t end = input_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (TryConsume("<![CDATA[")) {
+          const size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA");
+          }
+          text.append(input_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (TryConsume("<?")) {
+          const size_t end = input_.find("?>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated processing instruction");
+          }
+          pos_ = end + 2;
+          continue;
+        }
+        XVR_RETURN_IF_ERROR(ParseElement(tree, node));
+        continue;
+      }
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') {
+        Advance();
+      }
+      std::string decoded;
+      XVR_ASSIGN_OR_RETURN(decoded,
+                           DecodeEntities(input_.substr(start, pos_ - start)));
+      text += decoded;
+    }
+    const std::string_view trimmed = Trim(text);
+    if (!trimmed.empty()) {
+      tree->SetText(node, std::string(trimmed));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+Result<XmlTree> ParseXmlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return ParseXml(content);
+}
+
+}  // namespace xvr

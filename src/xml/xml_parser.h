@@ -1,0 +1,27 @@
+#ifndef XVR_XML_XML_PARSER_H_
+#define XVR_XML_XML_PARSER_H_
+
+// A small, non-validating XML parser sufficient for the workloads of the
+// paper: elements, attributes, text, comments, CDATA, processing
+// instructions and DOCTYPE declarations (the latter three are skipped), and
+// the five predefined entities plus numeric character references.
+//
+// Namespaces are not interpreted; a qualified name is just a label.
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+// Parses `input` into a tree. On error the Status message includes the byte
+// offset of the problem.
+Result<XmlTree> ParseXml(std::string_view input);
+
+// Reads and parses a file.
+Result<XmlTree> ParseXmlFile(const std::string& path);
+
+}  // namespace xvr
+
+#endif  // XVR_XML_XML_PARSER_H_

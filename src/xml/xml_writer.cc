@@ -1,0 +1,109 @@
+#include "xml/xml_writer.h"
+
+namespace xvr {
+namespace {
+
+void AppendEscaped(const std::string& in, bool attribute, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '"':
+        if (attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      case '\'':
+        if (attribute) {
+          out->append("&apos;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void WriteNode(const XmlTree& tree, NodeId id, const XmlWriteOptions& options,
+               int depth, std::string* out) {
+  if (options.indent) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out->push_back('<');
+  out->append(tree.label_name(id));
+  if (const auto* attrs = tree.attributes(id)) {
+    for (const XmlAttribute& a : *attrs) {
+      out->push_back(' ');
+      out->append(a.name);
+      out->append("=\"");
+      AppendEscaped(a.value, /*attribute=*/true, out);
+      out->push_back('"');
+    }
+  }
+  if (options.annotate_dewey && tree.has_dewey()) {
+    out->append(" dewey=\"");
+    out->append(tree.dewey(id).ToString());
+    out->push_back('"');
+  }
+  const std::string* text = tree.text(id);
+  const NodeId first = tree.node(id).first_child;
+  if (first == kNullNode && (text == nullptr || text->empty())) {
+    out->append("/>");
+    if (options.indent) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (text != nullptr) {
+    AppendEscaped(*text, /*attribute=*/false, out);
+  }
+  if (first != kNullNode) {
+    if (options.indent) out->push_back('\n');
+    for (NodeId c = first; c != kNullNode; c = tree.node(c).next_sibling) {
+      WriteNode(tree, c, options, depth + 1, out);
+    }
+    if (options.indent) {
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+    }
+  }
+  out->append("</");
+  out->append(tree.label_name(id));
+  out->push_back('>');
+  if (options.indent) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlTree& tree, NodeId node,
+                     const XmlWriteOptions& options) {
+  std::string out;
+  if (node == kNullNode) {
+    return out;
+  }
+  WriteNode(tree, node, options, 0, &out);
+  return out;
+}
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  AppendEscaped(text, /*attribute=*/false, &out);
+  return out;
+}
+
+std::string EscapeAttribute(const std::string& value) {
+  std::string out;
+  AppendEscaped(value, /*attribute=*/true, &out);
+  return out;
+}
+
+}  // namespace xvr

@@ -1,0 +1,33 @@
+#ifndef XVR_XML_XML_WRITER_H_
+#define XVR_XML_XML_WRITER_H_
+
+// Serializes an XmlTree (or a subtree of it) back to XML text.
+
+#include <string>
+
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+struct XmlWriteOptions {
+  // Pretty-print with two-space indentation when true; single line otherwise.
+  bool indent = false;
+  // Emit the extended Dewey code of each element as a `dewey` attribute
+  // (debugging aid mirroring Figure 2 of the paper).
+  bool annotate_dewey = false;
+};
+
+// Serializes the subtree rooted at `node` (pass tree.root() for the whole
+// document).
+std::string WriteXml(const XmlTree& tree, NodeId node,
+                     const XmlWriteOptions& options = {});
+
+// Escapes text content (& < >) for embedding in XML.
+std::string EscapeText(const std::string& text);
+
+// Escapes an attribute value (also " and ').
+std::string EscapeAttribute(const std::string& value);
+
+}  // namespace xvr
+
+#endif  // XVR_XML_XML_WRITER_H_

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "pattern/evaluate.h"
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+// The paper's book tree (Figure 2), slightly abridged but keeping the
+// nested-section structure the examples rely on.
+constexpr const char* kBookXml =
+    "<b>"
+    "  <t/><a/><a/>"
+    "  <s><t/><f><i/></f><p/></s>"
+    "  <s><t/><p/>"
+    "    <s><t/><p/><f><i/></f></s>"
+    "  </s>"
+    "</b>";
+
+class EvaluateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = ParseXml(kBookXml);
+    ASSERT_TRUE(r.ok()) << r.status();
+    tree_ = std::move(r).value();
+    tree_.AssignDeweyCodes();
+  }
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &tree_.labels());
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  size_t Count(const std::string& xpath) {
+    return EvaluatePattern(Parse(xpath), tree_).size();
+  }
+  XmlTree tree_;
+};
+
+TEST_F(EvaluateTest, SimplePaths) {
+  EXPECT_EQ(Count("/b"), 1u);
+  EXPECT_EQ(Count("/b/t"), 1u);
+  EXPECT_EQ(Count("/b/s"), 2u);
+  EXPECT_EQ(Count("/b/s/s"), 1u);
+  EXPECT_EQ(Count("/b/a"), 2u);
+}
+
+TEST_F(EvaluateTest, DescendantAxis) {
+  EXPECT_EQ(Count("//s"), 3u);
+  EXPECT_EQ(Count("//t"), 4u);
+  EXPECT_EQ(Count("/b//p"), 3u);
+  EXPECT_EQ(Count("//f/i"), 2u);
+  EXPECT_EQ(Count("//s//i"), 2u);
+}
+
+TEST_F(EvaluateTest, Wildcards) {
+  EXPECT_EQ(Count("/b/*"), 5u);
+  EXPECT_EQ(Count("/b/*/t"), 2u);
+  EXPECT_EQ(Count("/*"), 1u);
+  EXPECT_EQ(Count("//*"), tree_.size());
+}
+
+TEST_F(EvaluateTest, Branches) {
+  // s nodes with both f//i and t, returning p (Example 3.4's query).
+  EXPECT_EQ(Count("//s[f//i][t]/p"), 2u);
+  EXPECT_EQ(Count("/b/s[f]/p"), 1u);
+  EXPECT_EQ(Count("/b/s[t][p]"), 2u);
+  EXPECT_EQ(Count("/b[a]/t"), 1u);
+}
+
+TEST_F(EvaluateTest, EmptyResults) {
+  EXPECT_EQ(Count("/x"), 0u);
+  EXPECT_EQ(Count("/b/i"), 0u);
+  EXPECT_EQ(Count("//s[a]"), 0u);
+  EXPECT_EQ(Count("/t"), 0u);  // t is not the root
+}
+
+TEST_F(EvaluateTest, AnswerNodeInMiddle) {
+  // //s[p] with answer s (the default for //s[p]).
+  EXPECT_EQ(Count("//s[p]"), 3u);
+}
+
+TEST_F(EvaluateTest, BooleanMatch) {
+  EXPECT_TRUE(MatchesPattern(Parse("//f/i"), tree_));
+  EXPECT_FALSE(MatchesPattern(Parse("//i/f"), tree_));
+  EXPECT_TRUE(MatchesPattern(Parse("/b[a][t]"), tree_));
+}
+
+TEST_F(EvaluateTest, ResultsAreSortedUniqueNodeIds) {
+  const auto result = EvaluatePattern(Parse("//s//t"), tree_);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LT(result[i - 1], result[i]);
+  }
+}
+
+TEST_F(EvaluateTest, ValuePredicates) {
+  auto r = ParseXml(
+      "<items><item id=\"1\" price=\"10\"/><item id=\"2\" price=\"25\"/>"
+      "<item id=\"3\" price=\"25\"/></items>");
+  ASSERT_TRUE(r.ok());
+  XmlTree t = std::move(r).value();
+  auto parse = [&](const std::string& x) {
+    auto p = ParseXPath(x, &t.labels());
+    EXPECT_TRUE(p.ok()) << p.status();
+    return std::move(p).value();
+  };
+  EXPECT_EQ(EvaluatePattern(parse("/items/item[@price = 25]"), t).size(), 2u);
+  EXPECT_EQ(EvaluatePattern(parse("/items/item[@price < 20]"), t).size(), 1u);
+  EXPECT_EQ(EvaluatePattern(parse("/items/item[@id != \"2\"]"), t).size(),
+            2u);
+  EXPECT_EQ(EvaluatePattern(parse("/items/item[@missing = 1]"), t).size(),
+            0u);
+}
+
+TEST_F(EvaluateTest, DeepRecursionStructure) {
+  // Nested s: //s/s/t hits only the innermost t.
+  EXPECT_EQ(Count("//s/s/t"), 1u);
+  EXPECT_EQ(Count("/b/s/s/f/i"), 1u);
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,619 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/engine.h"
+#include "pattern/evaluate.h"
+#include "pattern/homomorphism.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/contained.h"
+#include "storage/materializer.h"
+#include "vfilter/vfilter.h"
+#include "vfilter/vfilter_serde.h"
+#include "workload/query_gen.h"
+#include "workload/xmark.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Attribute-aware VFILTER (§VII future work).
+
+class AttributeFilterTest : public ::testing::Test {
+ protected:
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  VFilter Build(const std::vector<std::string>& views, bool attrs) {
+    VFilterOptions options;
+    options.index_attributes = attrs;
+    VFilter filter(options);
+    for (size_t i = 0; i < views.size(); ++i) {
+      filter.AddView(static_cast<int32_t>(i), Parse(views[i]));
+    }
+    return filter;
+  }
+  static bool Has(const FilterResult& r, int32_t id) {
+    return std::find(r.candidates.begin(), r.candidates.end(), id) !=
+           r.candidates.end();
+  }
+  LabelDict dict_;
+};
+
+TEST_F(AttributeFilterTest, PrunesViewsWithForeignPredicates) {
+  // A view requiring @id=1 cannot answer a query without that predicate.
+  VFilter structural = Build({"/a/b[@id = 1]/c", "/a/b/c"}, false);
+  VFilter attr_aware = Build({"/a/b[@id = 1]/c", "/a/b/c"}, true);
+  const TreePattern bare = Parse("/a/b/c");
+  // Structural filter keeps both (attribute-blind, sound but loose).
+  EXPECT_TRUE(Has(structural.Filter(bare), 0));
+  EXPECT_TRUE(Has(structural.Filter(bare), 1));
+  // Attribute-aware filter prunes the predicated view.
+  EXPECT_FALSE(Has(attr_aware.Filter(bare), 0));
+  EXPECT_TRUE(Has(attr_aware.Filter(bare), 1));
+}
+
+TEST_F(AttributeFilterTest, MatchingPredicateKept) {
+  VFilter filter = Build({"/a/b[@id = 1]/c", "/a/b[@id = 2]/c"}, true);
+  const FilterResult r = filter.Filter(Parse("/a/b[@id = 1]/c"));
+  EXPECT_TRUE(Has(r, 0));
+  EXPECT_FALSE(Has(r, 1));  // different value
+}
+
+TEST_F(AttributeFilterTest, PredicatedQueryMatchesUnpredicatedView) {
+  VFilter filter = Build({"/a/b/c"}, true);
+  EXPECT_TRUE(Has(filter.Filter(Parse("/a/b[@id = 1]/c")), 0));
+}
+
+TEST_F(AttributeFilterTest, OperatorsDistinguished) {
+  VFilter filter = Build({"/a/b[@n < 5]/c"}, true);
+  EXPECT_TRUE(Has(filter.Filter(Parse("/a/b[@n < 5]/c")), 0));
+  EXPECT_FALSE(Has(filter.Filter(Parse("/a/b[@n <= 5]/c")), 0));
+  EXPECT_FALSE(Has(filter.Filter(Parse("/a/b[@n < 6]/c")), 0));
+}
+
+TEST_F(AttributeFilterTest, PredUnderDescendantAxis) {
+  VFilter filter = Build({"//b[@id = 1]/c"}, true);
+  EXPECT_TRUE(Has(filter.Filter(Parse("/a/b[@id = 1]/c")), 0));
+  EXPECT_FALSE(Has(filter.Filter(Parse("/a/b/c")), 0));
+}
+
+TEST_F(AttributeFilterTest, UnknownQueryPredicateIsInvisible) {
+  VFilter filter = Build({"/a/b/c"}, true);
+  // The query carries a predicate the dictionary has never seen.
+  EXPECT_TRUE(Has(filter.Filter(Parse("/a/b[@zzz = \"q\"]/c")), 0));
+}
+
+TEST_F(AttributeFilterTest, SerdeRoundTripsPredTransitions) {
+  VFilter filter = Build({"/a/b[@id = 1]/c", "/a/b/c"}, true);
+  auto restored = DeserializeVFilter(SerializeVFilter(filter));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->options().index_attributes);
+  const TreePattern bare = Parse("/a/b/c");
+  EXPECT_EQ(filter.Filter(bare).candidates,
+            restored->Filter(bare).candidates);
+  const TreePattern pred = Parse("/a/b[@id = 1]/c");
+  EXPECT_EQ(filter.Filter(pred).candidates,
+            restored->Filter(pred).candidates);
+}
+
+TEST_F(AttributeFilterTest, SoundOnGeneratedAttributeWorkload) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  XmlTree doc = GenerateXmark(doc_options);
+  QueryGenOptions gen;
+  gen.prob_attr = 0.5;
+  gen.num_pred = 2;
+  QueryGenerator generator(doc, gen);
+  Rng rng(5);
+  std::vector<TreePattern> views;
+  VFilterOptions options;
+  options.index_attributes = true;
+  VFilter filter(options);
+  for (int i = 0; i < 120; ++i) {
+    views.push_back(generator.Generate(&rng));
+    filter.AddView(i, views.back());
+  }
+  int containments = 0;
+  for (int i = 0; i < 40; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    const FilterResult result = filter.Filter(query);
+    for (size_t v = 0; v < views.size(); ++v) {
+      if (ExistsHomomorphism(views[v], query)) {
+        ++containments;
+        EXPECT_TRUE(std::find(result.candidates.begin(),
+                              result.candidates.end(),
+                              static_cast<int32_t>(v)) !=
+                    result.candidates.end());
+      }
+    }
+  }
+  EXPECT_GT(containments, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Generator attribute predicates.
+
+TEST(QueryGenAttributes, EmittedWhenEnabled) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  XmlTree doc = GenerateXmark(doc_options);
+  QueryGenOptions gen;
+  gen.prob_attr = 1.0;
+  QueryGenerator generator(doc, gen);
+  Rng rng(9);
+  int with_pred = 0;
+  int positive = 0;
+  for (int i = 0; i < 60; ++i) {
+    const TreePattern q = generator.Generate(&rng);
+    bool has = false;
+    for (size_t n = 0; n < q.size(); ++n) {
+      if (q.node(static_cast<TreePattern::NodeIndex>(n))
+              .value_pred.has_value()) {
+        has = true;
+      }
+    }
+    if (has) ++with_pred;
+    if (!EvaluatePattern(q, doc).empty()) ++positive;
+  }
+  EXPECT_GT(with_pred, 20);
+  // Values are sampled from the document, so most stay positive.
+  EXPECT_GT(positive, 30);
+}
+
+TEST(QueryGenAttributes, OffByDefault) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree doc = GenerateXmark(doc_options);
+  QueryGenerator generator(doc, {});
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    const TreePattern q = generator.Generate(&rng);
+    for (size_t n = 0; n < q.size(); ++n) {
+      EXPECT_FALSE(q.node(static_cast<TreePattern::NodeIndex>(n))
+                       .value_pred.has_value());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contained rewriting (§VII).
+
+class ContainedRewriteTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& xml) {
+    auto r = ParseXml(xml);
+    ASSERT_TRUE(r.ok()) << r.status();
+    tree_ = std::move(r).value();
+    tree_.AssignDeweyCodes();
+  }
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &tree_.labels());
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  ContainedRewriteResult Run(const std::string& query,
+                             const std::vector<std::string>& views) {
+    views_.clear();
+    store_ = FragmentStore();
+    std::vector<int32_t> ids;
+    for (size_t i = 0; i < views.size(); ++i) {
+      views_.push_back(Parse(views[i]));
+      auto frags = MaterializeView(views_.back(), tree_);
+      if (frags.ok()) {
+        store_.PutView(static_cast<int32_t>(i), std::move(frags).value());
+        ids.push_back(static_cast<int32_t>(i));
+      }
+    }
+    return ContainedRewrite(Parse(query), ids,
+                            [this](int32_t id) {
+                              return &views_[static_cast<size_t>(id)];
+                            },
+                            store_);
+  }
+  std::vector<DeweyCode> Direct(const std::string& query) {
+    std::vector<DeweyCode> codes;
+    for (NodeId n : EvaluatePattern(Parse(query), tree_)) {
+      codes.push_back(tree_.dewey(n));
+    }
+    std::sort(codes.begin(), codes.end());
+    return codes;
+  }
+  XmlTree tree_;
+  std::vector<TreePattern> views_;
+  FragmentStore store_;
+};
+
+TEST_F(ContainedRewriteTest, EquivalentViewGivesFullAnswer) {
+  Load("<a><b><c/><d/></b><b><d/></b></a>");
+  const auto result = Run("/a/b/d", {"/a/b/d"});
+  EXPECT_EQ(result.codes, Direct("/a/b/d"));
+  EXPECT_EQ(result.views_used.size(), 1u);
+}
+
+TEST_F(ContainedRewriteTest, MoreRestrictiveViewGivesSoundSubset) {
+  Load("<a><b><c/><d/></b><b><d/></b></a>");
+  // View restricted to b's having c; query wants all b/d.
+  const auto result = Run("/a/b/d", {"/a/b[c]/d"});
+  const auto all = Direct("/a/b/d");
+  EXPECT_EQ(result.codes.size(), 1u);  // only the first b qualifies
+  for (const DeweyCode& code : result.codes) {
+    EXPECT_TRUE(std::find(all.begin(), all.end(), code) != all.end());
+  }
+}
+
+TEST_F(ContainedRewriteTest, UnionsMultipleRestrictiveViews) {
+  Load("<a><b><c/><d/></b><b><e/><d/></b><b><d/></b></a>");
+  const auto result = Run("/a/b/d", {"/a/b[c]/d", "/a/b[e]/d"});
+  EXPECT_EQ(result.codes.size(), 2u);
+  EXPECT_EQ(result.views_used.size(), 2u);
+  const auto all = Direct("/a/b/d");
+  for (const DeweyCode& code : result.codes) {
+    EXPECT_TRUE(std::find(all.begin(), all.end(), code) != all.end());
+  }
+}
+
+TEST_F(ContainedRewriteTest, WeakerViewContributesNothing) {
+  // View is WEAKER than the query (no hom Q -> V): cannot guarantee answers.
+  Load("<a><b><c/><d/></b><b><d/></b></a>");
+  const auto result = Run("/a/b[c]/d", {"/a/b/d"});
+  EXPECT_TRUE(result.codes.empty());
+}
+
+TEST_F(ContainedRewriteTest, WitnessDeeperInsideFragment) {
+  Load("<a><b><m><d/></m></b><b><m/></b></a>");
+  // View materializes b's (with an m/d below); query answer d.
+  const auto result = Run("/a/b/m/d", {"/a/b[m/d]"});
+  EXPECT_EQ(result.codes, Direct("/a/b/m/d"));
+}
+
+TEST_F(ContainedRewriteTest, SubsetPropertyOnXmark) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  tree_ = GenerateXmark(doc_options);
+  QueryGenerator generator(tree_, {});
+  Rng rng(31);
+  views_.clear();
+  store_ = FragmentStore();
+  std::vector<int32_t> ids;
+  for (int i = 0; i < 80; ++i) {
+    TreePattern v = generator.Generate(&rng);
+    auto frags = MaterializeView(v, tree_);
+    if (frags.ok()) {
+      views_.push_back(std::move(v));
+      const auto id = static_cast<int32_t>(views_.size() - 1);
+      store_.PutView(id, std::move(frags).value());
+      ids.push_back(id);
+    }
+  }
+  for (int i = 0; i < 30; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    const auto result = ContainedRewrite(
+        query, ids,
+        [this](int32_t id) { return &views_[static_cast<size_t>(id)]; },
+        store_);
+    std::vector<DeweyCode> truth;
+    for (NodeId n : EvaluatePattern(query, tree_)) {
+      truth.push_back(tree_.dewey(n));
+    }
+    std::sort(truth.begin(), truth.end());
+    for (const DeweyCode& code : result.codes) {
+      EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), code))
+          << code.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: HB strategy, best-effort answering, persistence.
+
+TEST(EngineExtensions, SmallFragmentStrategyAgrees) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.15;
+  Engine engine(GenerateXmark(doc_options));
+  for (const char* vx :
+       {"//person[profile/interest]/name", "//person/name",
+        "//profile/interest"}) {
+    auto v = engine.Parse(vx);
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(engine.AddView(std::move(v).value()).ok()) << vx;
+  }
+  auto q = engine.Parse("/site/people/person[profile/interest]/name");
+  ASSERT_TRUE(q.ok());
+  auto hv = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  auto hb = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicSmallFragments);
+  ASSERT_TRUE(hv.ok());
+  ASSERT_TRUE(hb.ok()) << hb.status();
+  EXPECT_EQ(hv->codes, hb->codes);
+  EXPECT_STREQ(AnswerStrategyName(AnswerStrategy::kHeuristicSmallFragments),
+               "HB");
+}
+
+TEST(EngineExtensions, BestEffortFallsBackToContained) {
+  auto parsed = ParseXml("<a><b><c/><d/></b><b><d/></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  Engine engine(std::move(parsed).value());
+  auto view = engine.Parse("/a/b[c]/d");
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(engine.AddView(std::move(view).value()).ok());
+
+  // Exactly answerable query.
+  auto q1 = engine.Parse("/a/b[c]/d");
+  auto exact = engine.AnswerBestEffort(*q1);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_EQ(exact.codes.size(), 1u);
+
+  // Broader query: not answerable exactly, contained fallback returns the
+  // sound subset.
+  auto q2 = engine.Parse("/a/b/d");
+  auto partial = engine.AnswerBestEffort(*q2);
+  EXPECT_FALSE(partial.exact);
+  EXPECT_EQ(partial.codes.size(), 1u);
+  EXPECT_EQ(partial.views_used, 1u);
+}
+
+TEST(EngineExtensions, SaveLoadStateRoundTrip) {
+  const std::string path = "/tmp/xvr_engine_state.bin";
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  std::vector<DeweyCode> expected;
+  size_t num_views = 0;
+  {
+    Engine engine(GenerateXmark(doc_options));
+    for (const char* vx :
+         {"//closed_auction/date", "//person[profile/interest]/name"}) {
+      auto v = engine.Parse(vx);
+      ASSERT_TRUE(v.ok());
+      ASSERT_TRUE(engine.AddView(std::move(v).value()).ok());
+    }
+    num_views = engine.num_views();
+    auto q = engine.Parse("/site/closed_auctions/closed_auction/date");
+    auto a = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(a.ok());
+    expected = a->codes;
+    ASSERT_TRUE(engine.SaveState(path).ok());
+  }
+  auto loaded = Engine::LoadState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Engine& engine = **loaded;
+  EXPECT_EQ(engine.num_views(), num_views);
+  auto q = engine.Parse("/site/closed_auctions/closed_auction/date");
+  ASSERT_TRUE(q.ok());
+  auto a = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->codes, expected);
+  // New views can still be added after restore.
+  auto v = engine.Parse("//open_auction/current");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(engine.AddView(std::move(v).value()).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Partial (codes-only) materialization (§VII).
+
+class PartialViewTest : public ::testing::Test {
+ protected:
+  static XmlTree MakeDoc() {
+    auto r = ParseXml(
+        "<r>"
+        "<s><p k=\"1\"/><f/></s>"
+        "<s><p k=\"2\"/></s>"
+        "<s><f/></s>"
+        "</r>");
+    return std::move(r).value();
+  }
+  PartialViewTest() : engine_(MakeDoc()) {}
+  TreePattern Parse(const std::string& xpath) {
+    auto r = engine_.Parse(xpath);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(PartialViewTest, CodesOnlyFragmentsAreSmaller) {
+  auto full = engine_.AddView(Parse("/r/s"));
+  auto partial = engine_.AddViewCodesOnly(Parse("/r/s"));
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_LT(engine_.fragments().ViewByteSize(*partial),
+            engine_.fragments().ViewByteSize(*full));
+  EXPECT_TRUE(engine_.IsViewPartial(*partial));
+  EXPECT_FALSE(engine_.IsViewPartial(*full));
+}
+
+TEST_F(PartialViewTest, PartialViewJoinsAsPredicateWitness) {
+  // Full view supplies the p's; codes-only view witnesses the f's.
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddViewCodesOnly(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  auto hv = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  auto bn = engine_.AnswerQuery(q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(hv->codes, bn->codes);
+  EXPECT_EQ(hv->codes.size(), 1u);
+  EXPECT_EQ(hv->stats.views_selected, 2u);
+}
+
+TEST_F(PartialViewTest, PartialViewAsPrimaryWhenAnswerIsLeaf) {
+  ASSERT_TRUE(engine_.AddViewCodesOnly(Parse("/r/s/p")).ok());
+  const TreePattern q = Parse("/r/s/p");
+  auto hv = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  EXPECT_EQ(hv->codes.size(), 2u);
+}
+
+TEST_F(PartialViewTest, PartialViewCannotCheckBelowAnchor) {
+  // The only view anchors at s, but the query needs [f] and p below s —
+  // codes-only fragments cannot verify that content.
+  ASSERT_TRUE(engine_.AddViewCodesOnly(Parse("/r/s")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  auto hv = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  EXPECT_EQ(hv.status().code(), StatusCode::kNotAnswerable);
+  // A fully materialized copy of the same view does answer it.
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s")).ok());
+  auto again = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->codes.size(), 1u);
+}
+
+TEST_F(PartialViewTest, AnchorValuePredicateCheckedFromStoredAttributes) {
+  ASSERT_TRUE(engine_.AddViewCodesOnly(Parse("//p")).ok());
+  const TreePattern q = Parse("/r/s/p[@k = 2]");
+  auto hv = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  auto bn = engine_.AnswerQuery(q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(hv->codes, bn->codes);
+  EXPECT_EQ(hv->codes.size(), 1u);
+}
+
+TEST_F(PartialViewTest, MinimumSelectorRespectsPartiality) {
+  ASSERT_TRUE(engine_.AddViewCodesOnly(Parse("/r/s")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  const TreePattern q = Parse("/r/s/p");
+  auto mv = engine_.AnswerQuery(q, AnswerStrategy::kMinimumNoFilter);
+  ASSERT_TRUE(mv.ok()) << mv.status();
+  auto bn = engine_.AnswerQuery(q, AnswerStrategy::kBaseNodeIndex);
+  EXPECT_EQ(mv->codes, bn->codes);
+}
+
+TEST_F(PartialViewTest, PersistenceKeepsPartialFlag) {
+  const std::string path = "/tmp/xvr_partial_state.bin";
+  auto id = engine_.AddViewCodesOnly(Parse("/r/s/f"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.SaveState(path).ok());
+  auto restored = Engine::LoadState(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE((*restored)->IsViewPartial(*id));
+  const TreePattern q = *(*restored)->Parse("/r/s[f]/p");
+  auto hv = (*restored)->AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  EXPECT_EQ(hv->codes.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PartialViewXmark, TableIIIQ4FromCodesOnlyViews) {
+  // The whole Q4 plan runs on codes-only views: date (primary leaf answer),
+  // author and itemref witnesses.
+  XmarkOptions doc_options;
+  doc_options.scale = 0.2;
+  Engine engine(GenerateXmark(doc_options));
+  size_t partial_bytes = 0;
+  for (const char* vx :
+       {"//closed_auction/date", "//closed_auction/annotation/author",
+        "//closed_auction/itemref"}) {
+    auto v = engine.Parse(vx);
+    ASSERT_TRUE(v.ok());
+    auto id = engine.AddViewCodesOnly(std::move(v).value());
+    ASSERT_TRUE(id.ok()) << vx;
+    partial_bytes += engine.fragments().ViewByteSize(*id);
+  }
+  auto q = engine.Parse(
+      "/site/closed_auctions/closed_auction[annotation/author][itemref]/"
+      "date");
+  ASSERT_TRUE(q.ok());
+  auto hv = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(hv->codes, bn->codes);
+  EXPECT_FALSE(hv->codes.empty());
+  EXPECT_GT(partial_bytes, 0u);
+}
+
+TEST(EngineExtensions, AnswerQueryXmlFromFragmentsMatchesBase) {
+  auto parsed = ParseXml(
+      "<a><b k=\"1\"><c>hello</c><d/></b><b k=\"2\"><d/></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  Engine engine(std::move(parsed).value());
+  auto view = engine.Parse("/a/b");
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(engine.AddView(std::move(view).value()).ok());
+  auto q = engine.Parse("/a/b[c]/d");
+  ASSERT_TRUE(q.ok());
+
+  auto from_views =
+      engine.AnswerQueryXml(*q, AnswerStrategy::kHeuristicFiltered);
+  auto from_base = engine.AnswerQueryXml(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(from_views.ok()) << from_views.status();
+  ASSERT_TRUE(from_base.ok());
+  ASSERT_EQ(from_views->size(), 1u);
+  ASSERT_EQ(from_base->size(), 1u);
+  EXPECT_EQ((*from_views)[0].code, (*from_base)[0].code);
+  EXPECT_EQ((*from_views)[0].xml, (*from_base)[0].xml);
+  EXPECT_EQ((*from_views)[0].xml, "<d/>");
+}
+
+TEST(EngineExtensions, AnswerQueryXmlCarriesTextAndAttributes) {
+  auto parsed = ParseXml(
+      "<a><b><c id=\"7\">payload</c></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  Engine engine(std::move(parsed).value());
+  auto view = engine.Parse("/a/b");
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(engine.AddView(std::move(view).value()).ok());
+  auto q = engine.Parse("/a/b/c");
+  ASSERT_TRUE(q.ok());
+  auto answers =
+      engine.AnswerQueryXml(*q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0].xml, "<c id=\"7\">payload</c>");
+}
+
+TEST(EngineExtensions, RedundantQueryBranchesMinimizedAway) {
+  auto parsed = ParseXml("<a><b><c/><d/></b><b><d/></b></a>");
+  ASSERT_TRUE(parsed.ok());
+  Engine engine(std::move(parsed).value());
+  auto view = engine.Parse("/a/b[c]/d");
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(engine.AddView(std::move(view).value()).ok());
+  // [c][c][.//c] is equivalent to [c]; with minimization the single view
+  // answers it exactly.
+  auto q = engine.Parse("/a/b[c][c][.//c]/d");
+  ASSERT_TRUE(q.ok());
+  auto hv = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(hv->codes, bn->codes);
+  EXPECT_EQ(hv->codes.size(), 1u);
+
+  // With minimization disabled the redundant [.//c] leaf has no witness
+  // (the view's child-edge c cannot map onto a descendant-edge leaf), so
+  // the query is reported unanswerable — exactly why the paper assumes all
+  // patterns are minimized (§II).
+  EngineOptions raw_options;
+  raw_options.minimize_patterns = false;
+  auto parsed2 = ParseXml("<a><b><c/><d/></b><b><d/></b></a>");
+  ASSERT_TRUE(parsed2.ok());
+  Engine raw(std::move(parsed2).value(), raw_options);
+  auto view2 = raw.Parse("/a/b[c]/d");
+  ASSERT_TRUE(view2.ok());
+  ASSERT_TRUE(raw.AddView(std::move(view2).value()).ok());
+  auto q2 = raw.Parse("/a/b[c][c][.//c]/d");
+  ASSERT_TRUE(q2.ok());
+  auto raw_hv = raw.AnswerQuery(*q2, AnswerStrategy::kHeuristicFiltered);
+  EXPECT_EQ(raw_hv.status().code(), StatusCode::kNotAnswerable);
+}
+
+TEST(EngineExtensions, LoadStateRejectsGarbage) {
+  EXPECT_FALSE(Engine::LoadState("/tmp/xvr_no_such_file.bin").ok());
+  const std::string path = "/tmp/xvr_garbage_state.bin";
+  KvStore kv;
+  kv.Put("unrelated", "stuff");
+  ASSERT_TRUE(kv.SaveToFile(path).ok());
+  EXPECT_FALSE(Engine::LoadState(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "pattern/homomorphism.h"
+#include "pattern/xpath_parser.h"
+
+namespace xvr {
+namespace {
+
+class HomomorphismTest : public ::testing::Test {
+ protected:
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  bool Hom(const std::string& p, const std::string& q) {
+    return ExistsHomomorphism(Parse(p), Parse(q));
+  }
+  LabelDict dict_;
+};
+
+TEST_F(HomomorphismTest, Identity) {
+  EXPECT_TRUE(Hom("/a/b", "/a/b"));
+  EXPECT_TRUE(Hom("/a[b]/c", "/a[b]/c"));
+}
+
+TEST_F(HomomorphismTest, LabelMismatch) {
+  EXPECT_FALSE(Hom("/a/b", "/a/c"));
+  EXPECT_FALSE(Hom("/x", "/a"));
+}
+
+TEST_F(HomomorphismTest, WildcardInSourceMatchesAnything) {
+  EXPECT_TRUE(Hom("/a/*", "/a/b"));
+  EXPECT_TRUE(Hom("/*", "/a"));
+  EXPECT_TRUE(Hom("/*/*", "/a/b"));
+}
+
+TEST_F(HomomorphismTest, LabelDoesNotMatchWildcardTarget) {
+  // /a/* is not contained in /a/b: P=b must not map onto Q=*.
+  EXPECT_FALSE(Hom("/a/b", "/a/*"));
+}
+
+TEST_F(HomomorphismTest, WildcardMapsOntoWildcard) {
+  EXPECT_TRUE(Hom("/a/*", "/a/*"));
+}
+
+TEST_F(HomomorphismTest, ChildEdgeNeedsChildEdge) {
+  // /a/b (child) cannot map onto /a//b.
+  EXPECT_FALSE(Hom("/a/b", "/a//b"));
+  EXPECT_TRUE(Hom("/a//b", "/a/b"));
+}
+
+TEST_F(HomomorphismTest, DescendantEdgeSkipsLevels) {
+  EXPECT_TRUE(Hom("/a//c", "/a/b/c"));
+  EXPECT_TRUE(Hom("/a//c", "/a//b/c"));
+  EXPECT_TRUE(Hom("/a//c", "/a/b//c"));
+  EXPECT_FALSE(Hom("/a/c", "/a/b/c"));
+}
+
+TEST_F(HomomorphismTest, RootAnchoring) {
+  // kChild-anchored source requires kChild-anchored target root.
+  EXPECT_FALSE(Hom("/a", "//a"));
+  EXPECT_TRUE(Hom("//a", "/a"));
+  EXPECT_TRUE(Hom("//b", "/a/b"));
+  EXPECT_TRUE(Hom("//b", "//a/b"));
+  EXPECT_FALSE(Hom("/b", "//a/b"));
+}
+
+TEST_F(HomomorphismTest, Branches) {
+  EXPECT_TRUE(Hom("/a[b]", "/a[b][c]"));
+  EXPECT_FALSE(Hom("/a[b][c]", "/a[b]"));
+  EXPECT_TRUE(Hom("/a[b][c]", "/a[b][c]/d"));
+  // Two source branches may map onto one target branch.
+  EXPECT_TRUE(Hom("/a[b][.//b]", "/a/b"));
+}
+
+TEST_F(HomomorphismTest, BranchUnderDescendant) {
+  EXPECT_TRUE(Hom("//s[p]", "/b/s[p]/f"));
+  EXPECT_FALSE(Hom("//s[p]", "/b/s/f"));
+}
+
+TEST_F(HomomorphismTest, ValuePredicatesMustMatchExactly) {
+  EXPECT_TRUE(Hom("/a[@x = \"1\"]", "/a[@x = \"1\"]"));
+  EXPECT_FALSE(Hom("/a[@x = \"1\"]", "/a[@x = \"2\"]"));
+  EXPECT_FALSE(Hom("/a[@x = \"1\"]", "/a"));
+  // Source without predicate maps onto predicated target.
+  EXPECT_TRUE(Hom("/a", "/a[@x = \"1\"]"));
+  EXPECT_FALSE(Hom("/a[@x < 5]", "/a[@x <= 5]"));
+}
+
+TEST_F(HomomorphismTest, ImageCandidates) {
+  TreePattern v = Parse("//b/c");
+  TreePattern q = Parse("/a/b[c]/b/c");
+  HomomorphismMatcher matcher(v, q);
+  ASSERT_TRUE(matcher.Exists());
+  // v's root b can map onto either b of q.
+  EXPECT_EQ(matcher.ImageCandidates(v.root()).size(), 2u);
+  // v's answer c onto either c.
+  EXPECT_EQ(matcher.ImageCandidates(v.answer()).size(), 2u);
+}
+
+TEST_F(HomomorphismTest, ExtractProducesValidMapping) {
+  TreePattern v = Parse("//s[t]/p");
+  TreePattern q = Parse("/b/s[t][f]/p");
+  HomomorphismMatcher matcher(v, q);
+  ASSERT_TRUE(matcher.Exists());
+  auto mapping = matcher.Extract();
+  ASSERT_TRUE(mapping.has_value());
+  // Verify the embedding conditions on every edge.
+  for (size_t pi = 1; pi < v.size(); ++pi) {
+    const auto pn = static_cast<TreePattern::NodeIndex>(pi);
+    const auto qp = (*mapping)[static_cast<size_t>(v.node(pn).parent)];
+    const auto qn = (*mapping)[pi];
+    ASSERT_NE(qn, TreePattern::kNoNode);
+    if (v.axis(pn) == Axis::kChild) {
+      EXPECT_EQ(q.node(qn).parent, qp);
+      EXPECT_EQ(q.axis(qn), Axis::kChild);
+    } else {
+      EXPECT_TRUE(q.IsAncestorOrSelf(qp, qn));
+      EXPECT_NE(qp, qn);
+    }
+  }
+}
+
+TEST_F(HomomorphismTest, ExtractWithPinsAnswer) {
+  TreePattern v = Parse("//b");
+  TreePattern q = Parse("/a/b/b");
+  HomomorphismMatcher matcher(v, q);
+  for (TreePattern::NodeIndex target : matcher.ImageCandidates(v.root())) {
+    auto mapping = matcher.ExtractWith(v.root(), target);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ((*mapping)[0], target);
+  }
+}
+
+TEST_F(HomomorphismTest, ExtractWithConflictingPinsFails) {
+  TreePattern v = Parse("//b/c");
+  TreePattern q = Parse("/a/b/c");
+  HomomorphismMatcher matcher(v, q);
+  ASSERT_TRUE(matcher.Exists());
+  // Pin c onto b's node: impossible.
+  const auto q_b = q.PathFromRoot(q.answer())[1];
+  EXPECT_FALSE(matcher.ExtractWith(v.answer(), q_b).has_value());
+}
+
+TEST_F(HomomorphismTest, MultiplePinsHonored) {
+  TreePattern v = Parse("//s[t]/p");
+  TreePattern q = Parse("/b/s[t]/s[t]/p");
+  HomomorphismMatcher matcher(v, q);
+  ASSERT_TRUE(matcher.Exists());
+  // Pin v's s to the deeper s; t must then map under the deeper s.
+  const auto chain = q.PathFromRoot(q.answer());
+  const auto deep_s = chain[2];
+  auto mapping = matcher.ExtractWithPins({{v.root(), deep_s}});
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ((*mapping)[0], deep_s);
+  // v's t (child index 1 in v) maps to a child of deep_s.
+  TreePattern::NodeIndex vt = TreePattern::kNoNode;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v.label(static_cast<TreePattern::NodeIndex>(i)) == dict_.Find("t")) {
+      vt = static_cast<TreePattern::NodeIndex>(i);
+    }
+  }
+  const auto image = (*mapping)[static_cast<size_t>(vt)];
+  EXPECT_EQ(q.node(image).parent, deep_s);
+}
+
+TEST_F(HomomorphismTest, NoHomomorphismNoCandidates) {
+  TreePattern v = Parse("/a/x");
+  TreePattern q = Parse("/a/b");
+  HomomorphismMatcher matcher(v, q);
+  EXPECT_FALSE(matcher.Exists());
+  EXPECT_TRUE(matcher.ImageCandidates(v.root()).empty());
+  EXPECT_FALSE(matcher.Extract().has_value());
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pattern/containment.h"
+#include "pattern/minimize.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xvr {
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  LabelDict dict_;
+};
+
+TEST_F(MinimizeTest, RemovesDuplicateBranch) {
+  TreePattern p = Parse("/a[b][b]/c");
+  EXPECT_EQ(MinimizePattern(&p), 1);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b]/c").CanonicalKey());
+}
+
+TEST_F(MinimizeTest, RemovesImpliedBranch) {
+  // [.//b] is implied by [b].
+  TreePattern p = Parse("/a[.//b][b]/c");
+  EXPECT_EQ(MinimizePattern(&p), 1);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b]/c").CanonicalKey());
+}
+
+TEST_F(MinimizeTest, RemovesWildcardBranchImpliedByLabel) {
+  TreePattern p = Parse("/a[*][b]/c");
+  EXPECT_EQ(MinimizePattern(&p), 1);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b]/c").CanonicalKey());
+}
+
+TEST_F(MinimizeTest, RemovesShallowBranchImpliedByDeep) {
+  TreePattern p = Parse("/a[b][b/c]/d");
+  EXPECT_EQ(MinimizePattern(&p), 1);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b/c]/d").CanonicalKey());
+}
+
+TEST_F(MinimizeTest, KeepsIndependentBranches) {
+  TreePattern p = Parse("/a[b][c]/d");
+  EXPECT_EQ(MinimizePattern(&p), 0);
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST_F(MinimizeTest, NeverRemovesAnswerBranch) {
+  // The main path b is identical to the predicate [b]; the predicate copy
+  // must be the one removed.
+  TreePattern p = Parse("/a[b]/b");
+  EXPECT_EQ(MinimizePattern(&p), 1);
+  EXPECT_EQ(dict_.Name(p.label(p.answer())), "b");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST_F(MinimizeTest, NestedRedundancy) {
+  TreePattern p = Parse("/a[b[c][c]]/d");
+  EXPECT_GE(MinimizePattern(&p), 1);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b[c]]/d").CanonicalKey());
+}
+
+TEST_F(MinimizeTest, AxisMatters) {
+  // [b] does not imply [.//b]... it does! (a child is a descendant).
+  TreePattern p = Parse("/a[.//b][b]/c");
+  MinimizePattern(&p);
+  EXPECT_EQ(p.CanonicalKey(), Parse("/a[b]/c").CanonicalKey());
+  // But [.//b] alone does not imply [b]:
+  TreePattern q = Parse("/a[.//b]/c");
+  EXPECT_EQ(MinimizePattern(&q), 0);
+}
+
+TEST_F(MinimizeTest, PreservesEquivalenceOnRandomPatterns) {
+  Rng rng(17);
+  const std::vector<LabelId> labels = {dict_.Intern("a"), dict_.Intern("b"),
+                                       dict_.Intern("c")};
+  for (int trial = 0; trial < 80; ++trial) {
+    TreePattern p;
+    const auto label = [&]() -> LabelId {
+      return rng.NextBool(0.2) ? kWildcardLabel
+                               : labels[rng.NextBounded(labels.size())];
+    };
+    const auto axis = [&]() {
+      return rng.NextBool(0.3) ? Axis::kDescendant : Axis::kChild;
+    };
+    std::vector<TreePattern::NodeIndex> nodes = {p.AddRoot(label(), axis())};
+    const int extra = rng.NextInt(2, 6);
+    for (int i = 0; i < extra; ++i) {
+      const auto parent = nodes[rng.NextBounded(nodes.size())];
+      nodes.push_back(p.AddChild(parent, axis(), label()));
+    }
+    p.SetAnswer(nodes[rng.NextBounded(nodes.size())]);
+    TreePattern minimized = p;
+    MinimizePattern(&minimized);
+    EXPECT_LE(minimized.size(), p.size());
+    EXPECT_TRUE(EquivalentCanonical(p, minimized, &dict_))
+        << PatternToXPath(p, dict_) << " -> "
+        << PatternToXPath(minimized, dict_);
+  }
+}
+
+}  // namespace
+}  // namespace xvr

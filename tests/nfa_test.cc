@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/path_pattern.h"
+#include "pattern/xpath_parser.h"
+#include "vfilter/nfa.h"
+
+namespace xvr {
+namespace {
+
+class PathNfaTest : public ::testing::Test {
+ protected:
+  PathPattern Path(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    const Decomposition d = Decompose(*r);
+    EXPECT_EQ(d.paths.size(), 1u);
+    return d.paths[0];
+  }
+  // View ids accepted when reading the token string of `query_xpath`.
+  std::set<int32_t> Accepted(const PathNfa& nfa,
+                             const std::string& query_xpath) {
+    std::vector<const AcceptEntry*> hits;
+    nfa.Read(PathToTokens(Path(query_xpath)), &hits);
+    std::set<int32_t> ids;
+    for (const AcceptEntry* e : hits) {
+      ids.insert(e->view_id);
+    }
+    return ids;
+  }
+  LabelDict dict_;
+};
+
+TEST_F(PathNfaTest, TriePrefixSharing) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b/c"), 0, 0);
+  const size_t after_first = nfa.num_states();
+  nfa.Insert(Path("/a/b/d"), 1, 0);
+  // Only one new state for the diverging last step.
+  EXPECT_EQ(nfa.num_states(), after_first + 1);
+  EXPECT_EQ(Accepted(nfa, "/a/b/c"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b/d"), (std::set<int32_t>{1}));
+}
+
+TEST_F(PathNfaTest, UnsharedInsertionCreatesParallelChains) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b/c"), 0, 0, /*share_prefixes=*/false);
+  const size_t after_first = nfa.num_states();
+  nfa.Insert(Path("/a/b/d"), 1, 0, /*share_prefixes=*/false);
+  EXPECT_EQ(nfa.num_states(), after_first + 3);  // full private chain
+  // Behaviour identical regardless of sharing.
+  EXPECT_EQ(Accepted(nfa, "/a/b/c"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b/d"), (std::set<int32_t>{1}));
+}
+
+TEST_F(PathNfaTest, LoopStateSharedAcrossDescendantSteps) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a//b"), 0, 0);
+  const size_t after_first = nfa.num_states();
+  nfa.Insert(Path("/a//c"), 1, 0);
+  // The '//' waiting state off /a is reused; only the c-target is new.
+  EXPECT_EQ(nfa.num_states(), after_first + 1);
+  EXPECT_EQ(Accepted(nfa, "/a/x/y/b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/c"), (std::set<int32_t>{1}));
+}
+
+TEST_F(PathNfaTest, AcceptanceRecordedOnFirstEntry) {
+  // A short view accepts any longer query extending it, even when the
+  // continuation dies.
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b/zzz"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b//q/r"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a"), (std::set<int32_t>{}));
+}
+
+TEST_F(PathNfaTest, AcceptingStateWithContinuation) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  nfa.Insert(Path("/a/b/c"), 1, 0);
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b/c"), (std::set<int32_t>{0, 1}));
+}
+
+TEST_F(PathNfaTest, HashOnlyAbsorbedByLoops) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  nfa.Insert(Path("/a//b"), 1, 0);
+  EXPECT_EQ(Accepted(nfa, "/a//b"), (std::set<int32_t>{1}));
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{0, 1}));
+}
+
+TEST_F(PathNfaTest, StarMatchesLabelsNotHash) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/*/c"), 0, 0);
+  EXPECT_EQ(Accepted(nfa, "/a/x/c"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/*/c"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a//c"), (std::set<int32_t>{}));
+}
+
+TEST_F(PathNfaTest, ExactLabelDoesNotMatchStarToken) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  EXPECT_EQ(Accepted(nfa, "/a/*"), (std::set<int32_t>{}));
+}
+
+TEST_F(PathNfaTest, RemoveViewKeepsSharedStates) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  nfa.Insert(Path("/a/b"), 1, 0);
+  const size_t states = nfa.num_states();
+  nfa.RemoveView(0);
+  EXPECT_EQ(nfa.num_states(), states);
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{1}));
+  nfa.RemoveView(1);
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{}));
+  EXPECT_EQ(nfa.num_accept_entries(), 0u);
+}
+
+TEST_F(PathNfaTest, ScratchStateSurvivesManyReads) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a//b"), 0, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(Accepted(nfa, "/a/x/b"), (std::set<int32_t>{0}));
+    EXPECT_EQ(Accepted(nfa, "/a/x/c"), (std::set<int32_t>{}));
+  }
+}
+
+TEST_F(PathNfaTest, MultipleAcceptEntriesAtOneState) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b"), 0, 0);
+  nfa.Insert(Path("/a/b"), 7, 2);
+  std::vector<const AcceptEntry*> hits;
+  nfa.Read(PathToTokens(Path("/a/b")), &hits);
+  ASSERT_EQ(hits.size(), 2u);
+  std::set<int32_t> paths;
+  for (const AcceptEntry* e : hits) {
+    paths.insert(e->path_id);
+    EXPECT_EQ(e->length, 2);
+  }
+  EXPECT_EQ(paths, (std::set<int32_t>{0, 2}));
+}
+
+TEST_F(PathNfaTest, DescendantAnchorAtRoot) {
+  PathNfa nfa;
+  nfa.Insert(Path("//b"), 0, 0);
+  EXPECT_EQ(Accepted(nfa, "/b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "//b"), (std::set<int32_t>{0}));
+  EXPECT_EQ(Accepted(nfa, "/a/c"), (std::set<int32_t>{}));
+}
+
+TEST_F(PathNfaTest, TransitionCountsAreConsistent) {
+  PathNfa nfa;
+  nfa.Insert(Path("/a/b/c"), 0, 0);
+  nfa.Insert(Path("/a//d"), 1, 0);
+  nfa.Insert(Path("/a/*"), 2, 0);
+  EXPECT_GT(nfa.num_transitions(), 4u);
+  EXPECT_EQ(nfa.num_accept_entries(), 3u);
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "pattern/containment.h"
+#include "pattern/normalize.h"
+#include "pattern/path_pattern.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xvr {
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  PathPattern ParsePath(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    const Decomposition d = Decompose(*r);
+    EXPECT_EQ(d.paths.size(), 1u) << xpath;
+    return d.paths[0];
+  }
+  std::string Normalized(const std::string& xpath) {
+    return NormalizePath(ParsePath(xpath)).ToString(dict_);
+  }
+  LabelDict dict_;
+};
+
+TEST_F(NormalizeTest, PaperExample32) {
+  // Example 3.2/3.3: s/*//t normalizes to s//*/t.
+  EXPECT_EQ(Normalized("/s/*//t"), "/s//*/t");
+}
+
+TEST_F(NormalizeTest, AlreadyNormalUnchanged) {
+  EXPECT_EQ(Normalized("/s//*/t"), "/s//*/t");
+  EXPECT_EQ(Normalized("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(Normalized("/a//b"), "/a//b");
+  EXPECT_EQ(Normalized("/a/*/b"), "/a/*/b");
+}
+
+TEST_F(NormalizeTest, MultipleDescendantsInRun) {
+  EXPECT_EQ(Normalized("/a//*//b"), "/a//*/b");
+  EXPECT_EQ(Normalized("/a//*//*//b"), "/a//*/*/b");
+  EXPECT_EQ(Normalized("/a/*/*//b"), "/a//*/*/b");
+}
+
+TEST_F(NormalizeTest, RunAtPatternStart) {
+  EXPECT_EQ(Normalized("/*//a"), "//*/a");
+  EXPECT_EQ(Normalized("//*/a"), "//*/a");
+  EXPECT_EQ(Normalized("/*/a"), "/*/a");
+}
+
+TEST_F(NormalizeTest, RunAtPatternEnd) {
+  EXPECT_EQ(Normalized("/a/*//*"), "/a//*/*");
+  EXPECT_EQ(Normalized("/a//*"), "/a//*");
+  EXPECT_EQ(Normalized("/a/*"), "/a/*");
+}
+
+TEST_F(NormalizeTest, TwoIndependentRuns) {
+  EXPECT_EQ(Normalized("/a/*//b/*//c"), "/a//*/b//*/c");
+}
+
+TEST_F(NormalizeTest, IsNormalizedPredicate) {
+  EXPECT_TRUE(IsNormalizedPath(ParsePath("/a//*/b")));
+  EXPECT_FALSE(IsNormalizedPath(ParsePath("/a/*//b")));
+}
+
+TEST_F(NormalizeTest, Proposition32EquivalentPathsShareNormalForm) {
+  // All write "b at distance >= 3 below a".
+  const std::vector<std::string> family = {"/a/*/*//b", "/a/*//*/b",
+                                           "/a//*/*/b", "/a/*//*//b",
+                                           "/a//*//*/b", "/a//*//*//b"};
+  const std::string normal = Normalized(family[0]);
+  for (const std::string& p : family) {
+    EXPECT_EQ(Normalized(p), normal) << p;
+  }
+}
+
+TEST_F(NormalizeTest, NormalizationPreservesSemantics) {
+  // Canonical-model equivalence of P and N(P) for a battery of paths.
+  const std::vector<std::string> paths = {
+      "/a/*//b",  "/a//*//b", "/*//a",     "/a/*//*",
+      "/a/*/*//b", "/a/*//b/*//c", "//*//a", "/a//*//*//b",
+  };
+  for (const std::string& xpath : paths) {
+    const PathPattern p = ParsePath(xpath);
+    const TreePattern before = p.ToTreePattern();
+    const TreePattern after = NormalizePath(p).ToTreePattern();
+    EXPECT_TRUE(EquivalentCanonical(before, after, &dict_)) << xpath;
+  }
+}
+
+TEST_F(NormalizeTest, TreePatternNormalization) {
+  auto r = ParseXPath("/a[b/*//c]/*//d", &dict_);
+  ASSERT_TRUE(r.ok());
+  TreePattern p = std::move(r).value();
+  NormalizeTreePattern(&p);
+  // Both wildcard chains get the descendant edge pushed to the front.
+  const Decomposition d = Decompose(p);
+  for (const PathPattern& path : d.paths) {
+    EXPECT_TRUE(IsNormalizedPath(path)) << path.ToString(dict_);
+  }
+}
+
+TEST_F(NormalizeTest, TreePatternNormalizationKeepsAnswerChainsIntact) {
+  // The wildcard IS the answer node: its position must not move.
+  auto r = ParseXPath("/a/*//b", &dict_);
+  ASSERT_TRUE(r.ok());
+  TreePattern p = std::move(r).value();
+  const auto star = p.PathFromRoot(p.answer())[1];
+  p.SetAnswer(star);
+  TreePattern copy = p;
+  NormalizeTreePattern(&copy);
+  EXPECT_EQ(copy.CanonicalKey(), p.CanonicalKey());
+}
+
+TEST_F(NormalizeTest, TreePatternNormalizationSemanticsPreserved) {
+  const std::vector<std::string> cases = {
+      "/a[b/*//c]/d", "/a/*//b[c]", "/a[.//b/*//c]//d",
+  };
+  for (const std::string& xpath : cases) {
+    auto r = ParseXPath(xpath, &dict_);
+    ASSERT_TRUE(r.ok());
+    TreePattern p = std::move(r).value();
+    TreePattern normalized = p;
+    NormalizeTreePattern(&normalized);
+    EXPECT_TRUE(EquivalentCanonical(p, normalized, &dict_)) << xpath;
+  }
+}
+
+}  // namespace
+}  // namespace xvr

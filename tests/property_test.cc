@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "pattern/evaluate.h"
+#include "pattern/homomorphism.h"
+#include "pattern/normalize.h"
+#include "pattern/pattern_writer.h"
+#include "vfilter/vfilter.h"
+#include "workload/query_gen.h"
+#include "workload/random_doc.h"
+#include "workload/xmark.h"
+
+namespace xvr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property 1 (the headline end-to-end invariant): for random view sets and
+// random queries over an XMark document, whenever selection succeeds the
+// multi-view rewriting equals direct evaluation on the base data.
+
+struct EndToEndParams {
+  uint64_t seed;
+  int num_views;
+  int num_queries;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<EndToEndParams> {};
+
+TEST_P(EndToEndSweep, RewritingMatchesDirectEvaluation) {
+  const EndToEndParams params = GetParam();
+  XmarkOptions doc_options;
+  doc_options.scale = 0.12;
+  doc_options.seed = params.seed;
+  Engine engine(GenerateXmark(doc_options));
+
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 1;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(params.seed * 31 + 1);
+
+  int added = 0;
+  int attempts = 0;
+  while (added < params.num_views && attempts < params.num_views * 50) {
+    ++attempts;
+    if (engine.AddView(generator.Generate(&rng)).ok()) {
+      ++added;
+    }
+  }
+  ASSERT_GT(added, 0);
+
+  int answered = 0;
+  for (int i = 0; i < params.num_queries; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    auto mv = engine.AnswerQuery(query, AnswerStrategy::kMinimumFiltered);
+    // Both strategies agree on answerability.
+    ASSERT_EQ(hv.ok(), mv.ok())
+        << PatternToXPath(query, engine.labels()) << " hv=" << hv.status()
+        << " mv=" << mv.status();
+    if (!hv.ok()) {
+      ASSERT_EQ(hv.status().code(), StatusCode::kNotAnswerable)
+          << hv.status();
+      continue;
+    }
+    ++answered;
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(hv->codes, direct->codes)
+        << "HV mismatch for " << PatternToXPath(query, engine.labels());
+    EXPECT_EQ(mv->codes, direct->codes)
+        << "MV mismatch for " << PatternToXPath(query, engine.labels());
+  }
+  // The sweep should answer a reasonable share of queries (views and
+  // queries come from the same generator).
+  EXPECT_GT(answered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EndToEndSweep,
+    ::testing::Values(EndToEndParams{101, 60, 40},
+                      EndToEndParams{202, 60, 40},
+                      EndToEndParams{303, 120, 40},
+                      EndToEndParams{404, 120, 40}));
+
+// A heavier configuration closer to the bench scale: larger document, more
+// views, all five view strategies cross-checked.
+TEST(EndToEndHeavy, AllStrategiesMatchDirectEvaluation) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.6;
+  doc_options.seed = 71;
+  Engine engine(GenerateXmark(doc_options));
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 1;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(72);
+  int added = 0;
+  for (int attempts = 0; added < 250 && attempts < 12000; ++attempts) {
+    if (engine.AddView(generator.Generate(&rng)).ok()) {
+      ++added;
+    }
+  }
+  ASSERT_GT(added, 100);
+  int answered = 0;
+  for (int i = 0; i < 50; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    if (!hv.ok()) {
+      continue;
+    }
+    ++answered;
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    for (AnswerStrategy s :
+         {AnswerStrategy::kMinimumNoFilter, AnswerStrategy::kMinimumFiltered,
+          AnswerStrategy::kHeuristicSmallFragments}) {
+      auto other = engine.AnswerQuery(query, s);
+      ASSERT_TRUE(other.ok())
+          << AnswerStrategyName(s) << " failed where HV succeeded: "
+          << PatternToXPath(query, engine.labels());
+      EXPECT_EQ(other->codes, direct->codes) << AnswerStrategyName(s);
+    }
+    EXPECT_EQ(hv->codes, direct->codes)
+        << PatternToXPath(query, engine.labels());
+  }
+  EXPECT_GT(answered, 5);
+}
+
+// Same end-to-end invariant with attribute predicates in the workload and
+// the attribute-aware filter enabled (the §VII extension path).
+TEST(EndToEndAttributes, RewritingMatchesDirectEvaluation) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.12;
+  doc_options.seed = 17;
+  EngineOptions engine_options;
+  engine_options.vfilter.index_attributes = true;
+  Engine engine(GenerateXmark(doc_options), engine_options);
+
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 2;
+  gen_options.prob_attr = 0.4;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(18);
+
+  int added = 0;
+  for (int attempts = 0; added < 80 && attempts < 4000; ++attempts) {
+    if (engine.AddView(generator.Generate(&rng)).ok()) {
+      ++added;
+    }
+  }
+  ASSERT_GT(added, 0);
+
+  int answered = 0;
+  for (int i = 0; i < 60; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    if (!hv.ok()) {
+      ASSERT_EQ(hv.status().code(), StatusCode::kNotAnswerable);
+      continue;
+    }
+    ++answered;
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(hv->codes, direct->codes)
+        << PatternToXPath(query, engine.labels());
+  }
+  EXPECT_GT(answered, 0);
+}
+
+// Mixed full / codes-only view catalogs (§VII partial materialization):
+// answers must still match direct evaluation exactly.
+TEST(EndToEndPartialViews, RewritingMatchesDirectEvaluation) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.12;
+  doc_options.seed = 51;
+  Engine engine(GenerateXmark(doc_options));
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 1;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(52);
+  int added = 0;
+  for (int attempts = 0; added < 120 && attempts < 6000; ++attempts) {
+    TreePattern v = generator.Generate(&rng);
+    const bool partial = rng.NextBool(0.5);
+    const auto id = partial ? engine.AddViewCodesOnly(std::move(v))
+                            : engine.AddView(std::move(v));
+    if (id.ok()) {
+      ++added;
+    }
+  }
+  ASSERT_GT(added, 0);
+  int answered = 0;
+  for (int i = 0; i < 60; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    if (!hv.ok()) {
+      ASSERT_EQ(hv.status().code(), StatusCode::kNotAnswerable);
+      continue;
+    }
+    ++answered;
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(hv->codes, direct->codes)
+        << PatternToXPath(query, engine.labels());
+  }
+  EXPECT_GT(answered, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: VFILTER never filters a view that has a homomorphism to the
+// query (Proposition 3.1 + normalization, §III-C and §III-D).
+
+class FilterSoundnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterSoundnessSweep, NoFalseNegatives) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.08;
+  doc_options.seed = GetParam();
+  XmlTree doc = GenerateXmark(doc_options);
+
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 1;
+  gen_options.num_nestedpath = 2;
+  gen_options.prob_wild = 0.3;
+  gen_options.prob_desc = 0.3;
+  QueryGenerator generator(doc, gen_options);
+  Rng rng(GetParam() * 7 + 3);
+
+  std::vector<TreePattern> views;
+  VFilter filter;
+  for (int i = 0; i < 150; ++i) {
+    views.push_back(generator.Generate(&rng));
+    filter.AddView(i, views.back());
+  }
+
+  int containments = 0;
+  for (int i = 0; i < 50; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    const FilterResult result = filter.Filter(query);
+    for (size_t v = 0; v < views.size(); ++v) {
+      if (ExistsHomomorphism(views[v], query)) {
+        ++containments;
+        EXPECT_NE(std::find(result.candidates.begin(),
+                            result.candidates.end(), static_cast<int32_t>(v)),
+                  result.candidates.end())
+            << "view " << PatternToXPath(views[v], doc.labels())
+            << " dropped for query " << PatternToXPath(query, doc.labels());
+      }
+    }
+  }
+  EXPECT_GT(containments, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterSoundnessSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 110));
+
+// ---------------------------------------------------------------------------
+// Adversarial documents: tiny alphabets make every label repeat along root
+// paths, stressing ambiguous anchor assignments in the join and crowded
+// homomorphism image sets. Same invariants as above.
+
+struct RandomDocParams {
+  uint64_t seed;
+  int alphabet;
+};
+
+class RandomDocSweep : public ::testing::TestWithParam<RandomDocParams> {};
+
+TEST_P(RandomDocSweep, EndToEndAndFilterInvariants) {
+  RandomDocOptions doc_options;
+  doc_options.seed = GetParam().seed;
+  doc_options.alphabet_size = GetParam().alphabet;
+  doc_options.num_nodes = 350;
+  Engine engine(GenerateRandomDoc(doc_options));
+
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 4;
+  gen_options.num_pred = 1;
+  gen_options.prob_wild = 0.25;
+  gen_options.prob_desc = 0.3;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(GetParam().seed * 13 + 5);
+
+  std::vector<TreePattern> views;
+  int added = 0;
+  for (int attempts = 0; added < 60 && attempts < 2500; ++attempts) {
+    TreePattern v = generator.Generate(&rng);
+    views.push_back(v);
+    if (engine.AddView(std::move(v)).ok()) {
+      ++added;
+    } else {
+      views.pop_back();
+    }
+  }
+  ASSERT_GT(added, 0);
+
+  int answered = 0;
+  for (int i = 0; i < 50; ++i) {
+    const TreePattern query = generator.Generate(&rng);
+    // Filter soundness vs homomorphism.
+    const FilterResult filtered = engine.vfilter().Filter(query);
+    for (size_t v = 0; v < views.size(); ++v) {
+      if (ExistsHomomorphism(views[v], query)) {
+        EXPECT_TRUE(std::find(filtered.candidates.begin(),
+                              filtered.candidates.end(),
+                              static_cast<int32_t>(v)) !=
+                    filtered.candidates.end())
+            << PatternToXPath(views[v], engine.labels()) << " dropped for "
+            << PatternToXPath(query, engine.labels());
+      }
+    }
+    // End-to-end equality.
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    if (!hv.ok()) {
+      continue;
+    }
+    ++answered;
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(hv->codes, direct->codes)
+        << PatternToXPath(query, engine.labels());
+    // TJFast agrees too on these adversarial shapes.
+    auto bt = engine.AnswerQuery(query, AnswerStrategy::kBaseTjfast);
+    ASSERT_TRUE(bt.ok());
+    EXPECT_EQ(bt->codes, direct->codes)
+        << "BT mismatch: " << PatternToXPath(query, engine.labels());
+  }
+  EXPECT_GT(answered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomDocSweep,
+    ::testing::Values(RandomDocParams{1, 2}, RandomDocParams{2, 3},
+                      RandomDocParams{3, 4}, RandomDocParams{4, 2},
+                      RandomDocParams{5, 3}, RandomDocParams{6, 6}));
+
+// ---------------------------------------------------------------------------
+// Property 3: normalization never changes a path pattern's result set on
+// real documents.
+
+TEST(NormalizationProperty, ResultSetsPreservedOnXmark) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.08;
+  XmlTree doc = GenerateXmark(doc_options);
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 5;
+  gen_options.num_pred = 0;
+  gen_options.prob_wild = 0.5;
+  gen_options.prob_desc = 0.4;
+  QueryGenerator generator(doc, gen_options);
+  Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    const TreePattern q = generator.Generate(&rng);
+    const Decomposition d = Decompose(q);
+    ASSERT_EQ(d.paths.size(), 1u);
+    const TreePattern normalized =
+        NormalizePath(d.paths[0]).ToTreePattern();
+    EXPECT_EQ(EvaluatePattern(q, doc), EvaluatePattern(normalized, doc))
+        << PatternToXPath(q, doc.labels()) << " vs "
+        << PatternToXPath(normalized, doc.labels());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 4: every leaf cover the selectors rely on is justified — if a
+// view's cover claims Δ plus all leaves, the single view must answer the
+// query exactly (spot-checked end to end).
+
+TEST(LeafCoverProperty, FullCoverSingleViewAnswersExactly) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  Engine engine(GenerateXmark(doc_options));
+  QueryGenOptions gen_options;
+  QueryGenerator generator(engine.doc(), gen_options);
+  Rng rng(88);
+  int checked = 0;
+  for (int i = 0; i < 200 && checked < 25; ++i) {
+    TreePattern view = generator.Generate(&rng);
+    auto id = engine.AddView(std::move(view));
+    if (!id.ok()) {
+      continue;
+    }
+    // Query = the view itself (guaranteed full cover).
+    const TreePattern& query = *engine.view(*id);
+    auto hv = engine.AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(hv.ok()) << hv.status();
+    auto direct = engine.AnswerQuery(query, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(hv->codes, direct->codes);
+    ++checked;
+  }
+  EXPECT_GE(checked, 25);
+}
+
+}  // namespace
+}  // namespace xvr

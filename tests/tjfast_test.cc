@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "exec/evaluator.h"
+#include "pattern/evaluate.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+#include "workload/query_gen.h"
+#include "workload/xmark.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+class TjFastTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = ParseXml(
+        "<b>"
+        "<s><t/><f n=\"1\"><i/></f><p/></s>"
+        "<s><t/><p/><s><t/><p/><f n=\"2\"><i/></f></s></s>"
+        "<a/><a/>"
+        "</b>");
+    ASSERT_TRUE(r.ok()) << r.status();
+    tree_ = std::move(r).value();
+    tree_.AssignDeweyCodes();
+    index_ = std::make_unique<NodeIndex>(tree_);
+    eval_ = std::make_unique<TjFastEvaluator>(tree_, *index_);
+  }
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &tree_.labels());
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  void ExpectAgrees(const std::string& xpath) {
+    const TreePattern p = Parse(xpath);
+    EXPECT_EQ(eval_->Evaluate(p), EvaluatePattern(p, tree_)) << xpath;
+  }
+  XmlTree tree_;
+  std::unique_ptr<NodeIndex> index_;
+  std::unique_ptr<TjFastEvaluator> eval_;
+};
+
+TEST_F(TjFastTest, SinglePathQueries) {
+  ExpectAgrees("/b/s");
+  ExpectAgrees("//s//t");
+  ExpectAgrees("/b/s/s/t");
+  ExpectAgrees("//f/i");
+  ExpectAgrees("/b/*");
+  ExpectAgrees("/x");
+}
+
+TEST_F(TjFastTest, TwigQueries) {
+  ExpectAgrees("/b/s[t]/p");
+  ExpectAgrees("//s[f/i][t]/p");
+  ExpectAgrees("/b[a]/s//p");
+  ExpectAgrees("//s[p]");
+  ExpectAgrees("//s[x]");
+}
+
+TEST_F(TjFastTest, AnswerAtInternalNode) {
+  // The answer node has children (predicates): it is internal to the path.
+  ExpectAgrees("//s[t][p]");
+  ExpectAgrees("/b/s[f]");
+}
+
+TEST_F(TjFastTest, ValuePredicates) {
+  ExpectAgrees("//f[@n = 2]/i");
+  ExpectAgrees("//s[f[@n = 1]]/p");
+  ExpectAgrees("//f[@n = 3]");
+}
+
+TEST_F(TjFastTest, WildcardLeaves) {
+  ExpectAgrees("/b/s/*");
+  ExpectAgrees("//s[*]/p");
+}
+
+TEST_F(TjFastTest, RepeatedLabelsNested) {
+  // Nested s's exercise ambiguous prefix assignments.
+  ExpectAgrees("//s/s");
+  ExpectAgrees("//s[s]/t");
+  ExpectAgrees("//s//s//f");
+}
+
+TEST(TjFastSweep, AgreesWithDirectOnXmark) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.12;
+  doc_options.seed = 23;
+  XmlTree tree = GenerateXmark(doc_options);
+  NodeIndex index(tree);
+  TjFastEvaluator tjfast(tree, index);
+  QueryGenOptions gen;
+  gen.max_depth = 4;
+  gen.num_pred = 2;
+  gen.num_nestedpath = 2;
+  gen.prob_attr = 0.2;
+  QueryGenerator generator(tree, gen);
+  Rng rng(29);
+  for (int trial = 0; trial < 60; ++trial) {
+    const TreePattern q = generator.Generate(&rng);
+    EXPECT_EQ(tjfast.Evaluate(q), EvaluatePattern(q, tree))
+        << PatternToXPath(q, tree.labels());
+  }
+}
+
+TEST(TjFastEngine, StrategyWiredThrough) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  Engine engine(GenerateXmark(doc_options));
+  auto q = engine.Parse("/site/people/person[profile]/name");
+  ASSERT_TRUE(q.ok());
+  auto bt = engine.AnswerQuery(*q, AnswerStrategy::kBaseTjfast);
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bt.ok());
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(bt->codes, bn->codes);
+  EXPECT_FALSE(bt->codes.empty());
+  EXPECT_STREQ(AnswerStrategyName(AnswerStrategy::kBaseTjfast), "BT");
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pattern/homomorphism.h"
+#include "pattern/xpath_parser.h"
+#include "vfilter/vfilter.h"
+
+namespace xvr {
+namespace {
+
+class VFilterTest : public ::testing::Test {
+ protected:
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  // Builds a filter over the given views (ids = positions).
+  VFilter Build(const std::vector<std::string>& views,
+                VFilterOptions options = {}) {
+    VFilter filter(options);
+    for (size_t i = 0; i < views.size(); ++i) {
+      filter.AddView(static_cast<int32_t>(i), Parse(views[i]));
+    }
+    return filter;
+  }
+  static bool Has(const FilterResult& result, int32_t id) {
+    return std::find(result.candidates.begin(), result.candidates.end(),
+                     id) != result.candidates.end();
+  }
+  LabelDict dict_;
+};
+
+// The paper's Table I view set; Example 3.4 query s[f//i][t]/p selects V1
+// (s[t]/p) and V4 (s[p]/f) as candidates.
+TEST_F(VFilterTest, PaperExample34) {
+  VFilter filter = Build({
+      "/s[t]/p",        // V1: paths s/t, s/p
+      "/s[.//f]/p",     // V2: paths s//f, s/p
+      "//s/p",          // V3: path //s/p
+      "/s[p]/f//i",     // V4: paths s/p, s/f//i
+  });
+  const FilterResult result = filter.Filter(Parse("/s[f//i][t]/p"));
+  EXPECT_TRUE(Has(result, 0));   // V1: both paths contain query paths
+  EXPECT_TRUE(Has(result, 3));   // V4
+  // V3 (//s/p): its only path contains s/p -> candidate as well.
+  EXPECT_TRUE(Has(result, 2));
+  // V2's s//f path contains s/f//i, and s/p contains s/p -> candidate.
+  EXPECT_TRUE(Has(result, 1));
+}
+
+TEST_F(VFilterTest, FiltersViewsWithUnmatchedPaths) {
+  VFilter filter = Build({
+      "/s[x]/p",  // x never appears in the query
+      "/s/p",
+  });
+  const FilterResult result = filter.Filter(Parse("/s[t]/p"));
+  EXPECT_FALSE(Has(result, 0));
+  EXPECT_TRUE(Has(result, 1));
+}
+
+TEST_F(VFilterTest, DescendantViewPathAbsorbsQuerySteps) {
+  VFilter filter = Build({"//p", "/s//p", "/s/p", "/x//p"});
+  const FilterResult result = filter.Filter(Parse("/s/a/p"));
+  EXPECT_TRUE(Has(result, 0));
+  EXPECT_TRUE(Has(result, 1));
+  EXPECT_FALSE(Has(result, 2));  // /s/p does not contain /s/a/p
+  EXPECT_FALSE(Has(result, 3));
+}
+
+TEST_F(VFilterTest, TrailingSelfLoopAcceptsLongerQueries) {
+  VFilter filter = Build({"/s/p"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/p/q/r")), 0));
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/p//q")), 0));
+  EXPECT_FALSE(Has(filter.Filter(Parse("/s/q")), 0));
+}
+
+TEST_F(VFilterTest, WildcardViewSteps) {
+  VFilter filter = Build({"/s/*/p", "/s/*"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/a/p")), 0));
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/*/p")), 0));
+  // /s//p is not contained in /s/*/p (p may be a direct child).
+  EXPECT_FALSE(Has(filter.Filter(Parse("/s//p")), 0));
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/a")), 1));
+}
+
+TEST_F(VFilterTest, HashTokenOnlyAbsorbedByLoops) {
+  VFilter filter = Build({"/s/p", "/s//p"});
+  const FilterResult result = filter.Filter(Parse("/s//p"));
+  EXPECT_FALSE(Has(result, 0));
+  EXPECT_TRUE(Has(result, 1));
+}
+
+TEST_F(VFilterTest, NormalizationEliminatesFalseNegatives) {
+  // Example 3.2/3.3: view s//*/t must accept query s/*//t.
+  VFilter filter = Build({"/s//*/t"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/*//t")), 0));
+
+  // Without normalization the equivalent query is over-filtered.
+  VFilterOptions no_norm;
+  no_norm.normalize = false;
+  VFilter raw = Build({"/s//*/t"}, no_norm);
+  EXPECT_FALSE(Has(raw.Filter(Parse("/s/*//t")), 0));
+}
+
+TEST_F(VFilterTest, RawReadCatchesPrefixContainmentThroughNormalization) {
+  // Query /site/*[.//*/*]: its only root-to-leaf path site/*//*/*
+  // normalizes to site//*/*/*, which the short view /site[*]/* no longer
+  // matches by homomorphism — the raw read must keep the view.
+  VFilter filter = Build({"/site[*]/*"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/site/*[.//*/*]")), 0));
+}
+
+TEST_F(VFilterTest, RawInsertCatchesViewNormalizationGap) {
+  // View /site/*[.//*] has the single path site/*//*, normalized to
+  // site//*/* whose two wildcards become adjacent; the query
+  // /site/regions[.//to] (path site/regions//to) only matches the raw
+  // form.
+  VFilter filter = Build({"/site/*[.//*]"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/site/regions[.//to]")), 0));
+}
+
+TEST_F(VFilterTest, RootAnchorSemantics) {
+  VFilter filter = Build({"/a/b", "//a/b", "//b"});
+  // Query //a/b: not contained in /a/b.
+  const FilterResult r1 = filter.Filter(Parse("//a/b"));
+  EXPECT_FALSE(Has(r1, 0));
+  EXPECT_TRUE(Has(r1, 1));
+  EXPECT_TRUE(Has(r1, 2));
+  // Query /a/b contained in all three.
+  const FilterResult r2 = filter.Filter(Parse("/a/b"));
+  EXPECT_TRUE(Has(r2, 0));
+  EXPECT_TRUE(Has(r2, 1));
+  EXPECT_TRUE(Has(r2, 2));
+}
+
+TEST_F(VFilterTest, ListsSortedByLengthDescending) {
+  VFilter filter = Build({"//p", "/s//p", "/s/a/p"});
+  const FilterResult result = filter.Filter(Parse("/s/a/p"));
+  ASSERT_EQ(result.decomposition.paths.size(), 1u);
+  const auto& list = result.lists[0];
+  ASSERT_GE(list.size(), 3u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].length, list[i].length);
+  }
+  EXPECT_EQ(list[0].length, 3);  // /s/a/p itself
+}
+
+TEST_F(VFilterTest, ListsContainOnlyCandidates) {
+  VFilter filter = Build({"/s[x]/p", "/s/p"});
+  const FilterResult result = filter.Filter(Parse("/s[t]/p"));
+  for (const auto& list : result.lists) {
+    for (const auto& entry : list) {
+      EXPECT_TRUE(Has(result, entry.view_id));
+    }
+  }
+}
+
+TEST_F(VFilterTest, RemoveViewStopsMatching) {
+  VFilter filter = Build({"/s/p", "/s//p"});
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/p")), 0));
+  filter.RemoveView(0);
+  EXPECT_FALSE(Has(filter.Filter(Parse("/s/p")), 0));
+  EXPECT_TRUE(Has(filter.Filter(Parse("/s/p")), 1));
+  EXPECT_EQ(filter.num_views(), 1u);
+}
+
+TEST_F(VFilterTest, PrefixSharingShrinksAutomaton) {
+  const std::vector<std::string> views = {"/s/a/b", "/s/a/c", "/s/a/d",
+                                          "/s/b/a", "/s/b/c"};
+  VFilter shared = Build(views);
+  VFilterOptions unshared_options;
+  unshared_options.share_prefixes = false;
+  VFilter unshared = Build(views, unshared_options);
+  EXPECT_LT(shared.num_states(), unshared.num_states());
+  // Same filtering behaviour regardless.
+  for (const char* q : {"/s/a/b", "/s/b/c", "/s/a/x"}) {
+    EXPECT_EQ(shared.Filter(Parse(q)).candidates,
+              unshared.Filter(Parse(q)).candidates)
+        << q;
+  }
+}
+
+TEST_F(VFilterTest, NoFalseNegativesAgainstHomomorphism) {
+  // Any view with a homomorphism to the query must be a candidate.
+  const std::vector<std::string> views = {
+      "/s[t]/p",  "/s[.//f]/p", "//s/p",    "/s[p]/f//i", "//s//*",
+      "/s/*[t]",  "//f/i",      "/s[t][p]", "//s[f]/p",   "/s//p[q]",
+  };
+  VFilter filter = Build(views);
+  const std::vector<std::string> queries = {
+      "/s[f/i][t]/p", "/s[f//i][t]/p", "/s/f/i", "//s[t]/p/q",
+      "/s[t][f]/p",   "/s/s[t]/p",
+  };
+  for (const std::string& qx : queries) {
+    const TreePattern q = Parse(qx);
+    const FilterResult result = filter.Filter(q);
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (ExistsHomomorphism(Parse(views[i]), q)) {
+        EXPECT_TRUE(Has(result, static_cast<int32_t>(i)))
+            << "view " << views[i] << " dropped for query " << qx;
+      }
+    }
+  }
+}
+
+TEST_F(VFilterTest, StatisticsExposed) {
+  VFilter filter = Build({"/s[t]/p", "/s//f"});
+  EXPECT_EQ(filter.num_views(), 2u);
+  EXPECT_GT(filter.num_states(), 3u);
+  EXPECT_GT(filter.num_transitions(), 3u);
+  EXPECT_EQ(filter.NumPathsOf(0), 2);
+  EXPECT_EQ(filter.NumPathsOf(1), 1);
+  EXPECT_EQ(filter.NumPathsOf(99), -1);
+}
+
+TEST_F(VFilterTest, CounterModeMatchesSetModeOnSimpleWorkloads) {
+  const std::vector<std::string> views = {"/s[t]/p", "//s/p", "/s[p]/f"};
+  VFilter set_mode = Build(views);
+  VFilterOptions counter_options;
+  counter_options.counter_mode = true;
+  VFilter counter_mode = Build(views, counter_options);
+  for (const char* q : {"/s[t]/p", "/s[f]/p", "/s/p"}) {
+    EXPECT_EQ(set_mode.Filter(Parse(q)).candidates,
+              counter_mode.Filter(Parse(q)).candidates)
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace xvr

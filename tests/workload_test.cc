@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "pattern/evaluate.h"
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+#include "workload/query_gen.h"
+#include "workload/workloads.h"
+#include "workload/xmark.h"
+
+namespace xvr {
+namespace {
+
+TEST(Xmark, DeterministicForSeed) {
+  XmarkOptions options;
+  options.scale = 0.1;
+  XmlTree a = GenerateXmark(options);
+  XmlTree b = GenerateXmark(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label_name(static_cast<NodeId>(i)),
+              b.label_name(static_cast<NodeId>(i)));
+  }
+}
+
+TEST(Xmark, DifferentSeedsDiffer) {
+  XmarkOptions a_options;
+  a_options.scale = 0.1;
+  XmarkOptions b_options = a_options;
+  b_options.seed = 43;
+  EXPECT_NE(GenerateXmark(a_options).size(),
+            GenerateXmark(b_options).size());
+}
+
+TEST(Xmark, ScaleGrowsDocument) {
+  XmarkOptions small;
+  small.scale = 0.1;
+  XmarkOptions big;
+  big.scale = 1.0;
+  EXPECT_GT(GenerateXmark(big).size(), 4 * GenerateXmark(small).size());
+}
+
+TEST(Xmark, HasExpectedStructure) {
+  XmarkOptions options;
+  options.scale = 0.2;
+  XmlTree tree = GenerateXmark(options);
+  ASSERT_EQ(tree.label_name(tree.root()), "site");
+  std::set<std::string> top;
+  for (NodeId c : tree.Children(tree.root())) {
+    top.insert(tree.label_name(c));
+  }
+  EXPECT_EQ(top, (std::set<std::string>{"regions", "people", "open_auctions",
+                                        "closed_auctions", "categories"}));
+  // Each Table III query must be non-empty on the default document.
+  for (const TableIIIQuery& tq : TableIII()) {
+    auto q = ParseXPath(tq.xpath, &tree.labels());
+    ASSERT_TRUE(q.ok()) << tq.xpath;
+    EXPECT_FALSE(EvaluatePattern(*q, tree).empty()) << tq.xpath;
+    for (const std::string& vx : tq.companion_views) {
+      auto v = ParseXPath(vx, &tree.labels());
+      ASSERT_TRUE(v.ok()) << vx;
+      EXPECT_FALSE(EvaluatePattern(*v, tree).empty()) << vx;
+    }
+  }
+}
+
+TEST(Xmark, DeweyAssigned) {
+  XmarkOptions options;
+  options.scale = 0.05;
+  XmlTree tree = GenerateXmark(options);
+  EXPECT_TRUE(tree.has_dewey());
+  EXPECT_NE(tree.fst(), nullptr);
+}
+
+TEST(QueryGen, RespectsMaxDepth) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  options.num_pred = 0;
+  QueryGenerator generator(tree, options);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const TreePattern q = generator.Generate(&rng);
+    EXPECT_LE(q.size(), 3u);
+    EXPECT_TRUE(q.IsPath());
+  }
+}
+
+TEST(QueryGen, PredicatesAddBranches) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenOptions options;
+  options.max_depth = 4;
+  options.num_pred = 2;
+  options.num_nestedpath = 2;
+  QueryGenerator generator(tree, options);
+  Rng rng(5);
+  int branched = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!generator.Generate(&rng).IsPath()) {
+      ++branched;
+    }
+  }
+  EXPECT_GT(branched, 50);
+}
+
+TEST(QueryGen, KnobsControlAxesAndWildcards) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenOptions plain;
+  plain.prob_wild = 0.0;
+  plain.prob_desc = 0.0;
+  plain.num_pred = 0;
+  QueryGenerator generator(tree, plain);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const TreePattern q = generator.Generate(&rng);
+    for (size_t n = 0; n < q.size(); ++n) {
+      EXPECT_NE(q.label(static_cast<TreePattern::NodeIndex>(n)),
+                kWildcardLabel);
+      EXPECT_EQ(q.axis(static_cast<TreePattern::NodeIndex>(n)), Axis::kChild);
+    }
+  }
+}
+
+TEST(QueryGen, SchemaWalksAreMostlyPositive) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.1;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenOptions options;  // defaults mirror the paper
+  QueryGenerator generator(tree, options);
+  Rng rng(5);
+  int positive = 0;
+  const int total = 60;
+  for (int i = 0; i < total; ++i) {
+    if (!EvaluatePattern(generator.Generate(&rng), tree).empty()) {
+      ++positive;
+    }
+  }
+  EXPECT_GT(positive, total / 2);
+}
+
+TEST(QueryGen, GenerateAcceptedDedupsAndFilters) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenerator generator(tree, {});
+  Rng rng(5);
+  const auto views = generator.GenerateAccepted(
+      50, &rng,
+      [&](const TreePattern& q) { return !EvaluatePattern(q, tree).empty(); });
+  EXPECT_EQ(views.size(), 50u);
+  std::unordered_set<std::string> keys;
+  for (const TreePattern& v : views) {
+    EXPECT_TRUE(keys.insert(v.CanonicalKey()).second);
+    EXPECT_FALSE(EvaluatePattern(v, tree).empty());
+  }
+}
+
+TEST(Workloads, GenerateViewSetDistinct) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.05;
+  XmlTree tree = GenerateXmark(doc_options);
+  QueryGenOptions options;
+  options.num_nestedpath = 2;
+  const auto views = GenerateViewSet(tree, 100, options, 9);
+  EXPECT_EQ(views.size(), 100u);
+  std::unordered_set<std::string> keys;
+  for (const TreePattern& v : views) {
+    EXPECT_TRUE(keys.insert(v.CanonicalKey()).second);
+  }
+}
+
+TEST(Workloads, PaperSetupAnswersTableIII) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.25;
+  PaperSetup setup = BuildPaperSetup(doc_options, 40, 4242);
+  ASSERT_EQ(setup.queries.size(), 4u);
+  EXPECT_GE(setup.views_materialized, 40u);
+  // Every test query must be answerable via HV and agree with BF.
+  for (size_t i = 0; i < setup.queries.size(); ++i) {
+    auto hv = setup.engine->AnswerQuery(setup.queries[i],
+                                        AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(hv.ok()) << setup.query_names[i] << ": " << hv.status();
+    auto bf = setup.engine->AnswerQuery(setup.queries[i],
+                                        AnswerStrategy::kBaseFullIndex);
+    ASSERT_TRUE(bf.ok());
+    EXPECT_EQ(hv->codes, bf->codes) << setup.query_names[i];
+    EXPECT_FALSE(hv->codes.empty()) << setup.query_names[i];
+  }
+}
+
+}  // namespace
+}  // namespace xvr

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+#include "xml/xml_tree.h"
+#include "xml/xml_writer.h"
+
+namespace xvr {
+namespace {
+
+TEST(XmlTree, BuildManually) {
+  XmlTree t;
+  const LabelId a = t.labels().Intern("a");
+  const LabelId b = t.labels().Intern("b");
+  const NodeId root = t.CreateRoot(a);
+  const NodeId c1 = t.AppendChild(root, b);
+  const NodeId c2 = t.AppendChild(root, b);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.node(c1).parent, root);
+  EXPECT_EQ(t.node(root).first_child, c1);
+  EXPECT_EQ(t.node(c1).next_sibling, c2);
+  EXPECT_EQ(t.Children(root), (std::vector<NodeId>{c1, c2}));
+  EXPECT_EQ(t.Depth(root), 0);
+  EXPECT_EQ(t.Depth(c2), 1);
+  EXPECT_TRUE(t.IsAncestor(root, c1));
+  EXPECT_FALSE(t.IsAncestor(c1, root));
+  EXPECT_TRUE(t.IsAncestorOrSelf(c1, c1));
+  EXPECT_EQ(t.SubtreeSize(root), 3u);
+  EXPECT_EQ(t.SubtreeSize(c1), 1u);
+}
+
+TEST(XmlTree, TextAndAttributes) {
+  XmlTree t;
+  const NodeId root = t.CreateRoot(t.labels().Intern("a"));
+  t.SetText(root, "hello");
+  t.AddAttribute(root, "id", "7");
+  ASSERT_NE(t.text(root), nullptr);
+  EXPECT_EQ(*t.text(root), "hello");
+  ASSERT_NE(t.attribute(root, "id"), nullptr);
+  EXPECT_EQ(*t.attribute(root, "id"), "7");
+  EXPECT_EQ(t.attribute(root, "missing"), nullptr);
+}
+
+TEST(XmlParser, ParsesSimpleDocument) {
+  auto r = ParseXml("<a><b>hi</b><c x='1'/></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const XmlTree& t = *r;
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.label_name(t.root()), "a");
+  const auto kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(t.label_name(kids[0]), "b");
+  ASSERT_NE(t.text(kids[0]), nullptr);
+  EXPECT_EQ(*t.text(kids[0]), "hi");
+  ASSERT_NE(t.attribute(kids[1], "x"), nullptr);
+  EXPECT_EQ(*t.attribute(kids[1], "x"), "1");
+}
+
+TEST(XmlParser, SkipsPrologCommentsAndDoctype) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n"
+      "<!-- comment -->\n"
+      "<a><!-- inner --><b/></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(XmlParser, DecodesEntities) {
+  auto r = ParseXml("<a x=\"&lt;&amp;&gt;\">&quot;&apos;&#65;</a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r->attribute(r->root(), "x"), "<&>");
+  EXPECT_EQ(*r->text(r->root()), "\"'A");
+}
+
+TEST(XmlParser, Cdata) {
+  auto r = ParseXml("<a><![CDATA[1 < 2 && 3]]></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r->text(r->root()), "1 < 2 && 3");
+}
+
+TEST(XmlParser, RejectsMismatchedTags) {
+  EXPECT_EQ(ParseXml("<a><b></a></b>").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(XmlParser, RejectsTrailingContent) {
+  EXPECT_EQ(ParseXml("<a/><b/>").status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParser, RejectsUnterminated) {
+  EXPECT_EQ(ParseXml("<a><b>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseXml("<a x=>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseXml("").status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParser, DeeplyNested) {
+  std::string doc;
+  for (int i = 0; i < 60; ++i) doc += "<n>";
+  for (int i = 0; i < 60; ++i) doc += "</n>";
+  auto r = ParseXml(doc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 60u);
+}
+
+TEST(XmlWriter, RoundTripsThroughParser) {
+  const std::string original =
+      "<site><people><person id=\"p0\"><name>bob &amp; co</name>"
+      "</person></people><regions/></site>";
+  auto parsed = ParseXml(original);
+  ASSERT_TRUE(parsed.ok());
+  const std::string written = WriteXml(*parsed, parsed->root());
+  auto reparsed = ParseXml(written);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << " in " << written;
+  EXPECT_EQ(reparsed->size(), parsed->size());
+  EXPECT_EQ(WriteXml(*reparsed, reparsed->root()), written);
+}
+
+TEST(XmlWriter, EscapesSpecials) {
+  XmlTree t;
+  const NodeId root = t.CreateRoot(t.labels().Intern("a"));
+  t.SetText(root, "x<y&z");
+  t.AddAttribute(root, "q", "a\"b'c");
+  const std::string out = WriteXml(t, t.root());
+  EXPECT_EQ(out, "<a q=\"a&quot;b&apos;c\">x&lt;y&amp;z</a>");
+}
+
+TEST(XmlWriter, IndentedOutputParses) {
+  auto parsed = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(parsed.ok());
+  XmlWriteOptions opt;
+  opt.indent = true;
+  const std::string out = WriteXml(*parsed, parsed->root(), opt);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  auto reparsed = ParseXml(out);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), 4u);
+}
+
+TEST(LabelDict, InternIsIdempotent) {
+  LabelDict dict;
+  const LabelId a = dict.Intern("item");
+  EXPECT_EQ(dict.Intern("item"), a);
+  EXPECT_EQ(dict.Find("item"), a);
+  EXPECT_EQ(dict.Find("absent"), kInvalidLabel);
+  EXPECT_EQ(dict.Name(a), "item");
+  EXPECT_EQ(dict.Name(kWildcardLabel), "*");
+}
+
+}  // namespace
+}  // namespace xvr

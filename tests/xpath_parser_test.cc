@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_writer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xvr {
+namespace {
+
+class XPathParserTest : public ::testing::Test {
+ protected:
+  TreePattern Parse(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  Status ParseError(const std::string& xpath) {
+    auto r = ParseXPath(xpath, &dict_);
+    EXPECT_FALSE(r.ok()) << xpath;
+    return r.status();
+  }
+  LabelDict dict_;
+};
+
+TEST_F(XPathParserTest, SimpleAbsolutePath) {
+  TreePattern p = Parse("/a/b/c");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.axis(p.root()), Axis::kChild);
+  EXPECT_EQ(dict_.Name(p.label(p.answer())), "c");
+  EXPECT_EQ(p.Depth(p.answer()), 2);
+}
+
+TEST_F(XPathParserTest, LeadingSlashOptional) {
+  EXPECT_EQ(Parse("a/b").CanonicalKey(), Parse("/a/b").CanonicalKey());
+}
+
+TEST_F(XPathParserTest, DescendantAnchor) {
+  TreePattern p = Parse("//a/b");
+  EXPECT_EQ(p.axis(p.root()), Axis::kDescendant);
+}
+
+TEST_F(XPathParserTest, DescendantEdges) {
+  TreePattern p = Parse("/a//b");
+  const auto b = p.PathFromRoot(p.answer())[1];
+  EXPECT_EQ(p.axis(b), Axis::kDescendant);
+}
+
+TEST_F(XPathParserTest, Wildcards) {
+  TreePattern p = Parse("/a/*/c");
+  const auto star = p.PathFromRoot(p.answer())[1];
+  EXPECT_EQ(p.label(star), kWildcardLabel);
+}
+
+TEST_F(XPathParserTest, BranchPredicates) {
+  TreePattern p = Parse("/a[b][c/d]/e");
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.node(p.root()).children.size(), 3u);
+  EXPECT_EQ(dict_.Name(p.label(p.answer())), "e");
+}
+
+TEST_F(XPathParserTest, NestedPredicates) {
+  TreePattern p = Parse("/a[b[c]/d]/e");
+  EXPECT_EQ(p.size(), 5u);
+  // b has children c and d.
+  TreePattern::NodeIndex b = TreePattern::kNoNode;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p.label(static_cast<TreePattern::NodeIndex>(i)) == dict_.Find("b")) {
+      b = static_cast<TreePattern::NodeIndex>(i);
+    }
+  }
+  ASSERT_NE(b, TreePattern::kNoNode);
+  EXPECT_EQ(p.node(b).children.size(), 2u);
+}
+
+TEST_F(XPathParserTest, DotSlashSlashPredicate) {
+  TreePattern p = Parse("/a[.//b]/c");
+  TreePattern::NodeIndex b = TreePattern::kNoNode;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p.label(static_cast<TreePattern::NodeIndex>(i)) == dict_.Find("b")) {
+      b = static_cast<TreePattern::NodeIndex>(i);
+    }
+  }
+  ASSERT_NE(b, TreePattern::kNoNode);
+  EXPECT_EQ(p.axis(b), Axis::kDescendant);
+}
+
+TEST_F(XPathParserTest, PredicateOnAnswerStep) {
+  TreePattern p = Parse("/a/b[c]");
+  EXPECT_EQ(dict_.Name(p.label(p.answer())), "b");
+  EXPECT_EQ(p.node(p.answer()).children.size(), 1u);
+}
+
+TEST_F(XPathParserTest, AttributeComparisons) {
+  struct Case {
+    const char* xpath;
+    ValuePredicate::Op op;
+    const char* value;
+  };
+  const Case cases[] = {
+      {"/a[@id = \"x\"]", ValuePredicate::Op::kEq, "x"},
+      {"/a[@id != 'y']", ValuePredicate::Op::kNe, "y"},
+      {"/a[@n < 10]", ValuePredicate::Op::kLt, "10"},
+      {"/a[@n <= 10]", ValuePredicate::Op::kLe, "10"},
+      {"/a[@n > 2.5]", ValuePredicate::Op::kGt, "2.5"},
+      {"/a[@n >= -3]", ValuePredicate::Op::kGe, "-3"},
+  };
+  for (const Case& c : cases) {
+    TreePattern p = Parse(c.xpath);
+    const auto& pred = p.node(p.root()).value_pred;
+    ASSERT_TRUE(pred.has_value()) << c.xpath;
+    EXPECT_EQ(pred->op, c.op) << c.xpath;
+    EXPECT_EQ(pred->value, c.value) << c.xpath;
+  }
+}
+
+TEST_F(XPathParserTest, WhitespaceTolerated) {
+  TreePattern p = Parse("  /a [ b / c ] / d ");
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST_F(XPathParserTest, Errors) {
+  EXPECT_EQ(ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a[").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a]").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a/").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a[@x ~ 3]").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a[@x = ]").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a[@x = \"unterminated]").code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/a trailing").code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseError("/1abc").code(), StatusCode::kParseError);
+}
+
+TEST_F(XPathParserTest, NestingDepthGuard) {
+  std::string deep = "/a";
+  for (int i = 0; i < 500; ++i) deep += "[b";
+  for (int i = 0; i < 500; ++i) deep += "]";
+  EXPECT_EQ(ParseError(deep).code(), StatusCode::kParseError);
+  // Moderate nesting still parses.
+  std::string ok = "/a";
+  for (int i = 0; i < 50; ++i) ok += "[b";
+  for (int i = 0; i < 50; ++i) ok += "]";
+  EXPECT_EQ(Parse(ok).size(), 51u);
+}
+
+TEST_F(XPathParserTest, SharedDictionary) {
+  TreePattern p1 = Parse("/a/b");
+  TreePattern p2 = Parse("/a/c");
+  EXPECT_EQ(p1.label(p1.root()), p2.label(p2.root()));
+}
+
+TEST_F(XPathParserTest, PaperExampleQuery) {
+  // Example 3.4: s[f//i][t]/p.
+  TreePattern p = Parse("s[f//i][t]/p");
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(dict_.Name(p.label(p.answer())), "p");
+  EXPECT_EQ(p.Leaves().size(), 3u);
+}
+
+}  // namespace
+}  // namespace xvr
