@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_utility.dir/bench_fig10_utility.cc.o"
+  "CMakeFiles/bench_fig10_utility.dir/bench_fig10_utility.cc.o.d"
+  "bench_fig10_utility"
+  "bench_fig10_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_query_processing.dir/bench_fig8_query_processing.cc.o"
+  "CMakeFiles/bench_fig8_query_processing.dir/bench_fig8_query_processing.cc.o.d"
+  "bench_fig8_query_processing"
+  "bench_fig8_query_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_query_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

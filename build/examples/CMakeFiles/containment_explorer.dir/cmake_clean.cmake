@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_explorer.dir/containment_explorer.cc.o"
+  "CMakeFiles/containment_explorer.dir/containment_explorer.cc.o.d"
+  "containment_explorer"
+  "containment_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_advisor.dir/view_advisor.cc.o"
+  "CMakeFiles/view_advisor.dir/view_advisor.cc.o.d"
+  "view_advisor"
+  "view_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

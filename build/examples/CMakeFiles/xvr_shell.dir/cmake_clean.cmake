@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xvr_shell.dir/xvr_shell.cc.o"
+  "CMakeFiles/xvr_shell.dir/xvr_shell.cc.o.d"
+  "xvr_shell"
+  "xvr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xvr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/xvr.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/xvr.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/xvr.dir/common/random.cc.o" "gcc" "src/CMakeFiles/xvr.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xvr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xvr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/xvr.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/xvr.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/xvr.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/xvr.dir/common/timer.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/xvr.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/xvr.dir/core/engine.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/xvr.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/xvr.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/node_index.cc" "src/CMakeFiles/xvr.dir/exec/node_index.cc.o" "gcc" "src/CMakeFiles/xvr.dir/exec/node_index.cc.o.d"
+  "/root/repo/src/exec/path_index.cc" "src/CMakeFiles/xvr.dir/exec/path_index.cc.o" "gcc" "src/CMakeFiles/xvr.dir/exec/path_index.cc.o.d"
+  "/root/repo/src/exec/tjfast.cc" "src/CMakeFiles/xvr.dir/exec/tjfast.cc.o" "gcc" "src/CMakeFiles/xvr.dir/exec/tjfast.cc.o.d"
+  "/root/repo/src/pattern/containment.cc" "src/CMakeFiles/xvr.dir/pattern/containment.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/containment.cc.o.d"
+  "/root/repo/src/pattern/evaluate.cc" "src/CMakeFiles/xvr.dir/pattern/evaluate.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/evaluate.cc.o.d"
+  "/root/repo/src/pattern/homomorphism.cc" "src/CMakeFiles/xvr.dir/pattern/homomorphism.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/homomorphism.cc.o.d"
+  "/root/repo/src/pattern/minimize.cc" "src/CMakeFiles/xvr.dir/pattern/minimize.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/minimize.cc.o.d"
+  "/root/repo/src/pattern/normalize.cc" "src/CMakeFiles/xvr.dir/pattern/normalize.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/normalize.cc.o.d"
+  "/root/repo/src/pattern/path_pattern.cc" "src/CMakeFiles/xvr.dir/pattern/path_pattern.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/path_pattern.cc.o.d"
+  "/root/repo/src/pattern/pattern_writer.cc" "src/CMakeFiles/xvr.dir/pattern/pattern_writer.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/pattern_writer.cc.o.d"
+  "/root/repo/src/pattern/tree_pattern.cc" "src/CMakeFiles/xvr.dir/pattern/tree_pattern.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/tree_pattern.cc.o.d"
+  "/root/repo/src/pattern/xpath_parser.cc" "src/CMakeFiles/xvr.dir/pattern/xpath_parser.cc.o" "gcc" "src/CMakeFiles/xvr.dir/pattern/xpath_parser.cc.o.d"
+  "/root/repo/src/rewrite/compensate.cc" "src/CMakeFiles/xvr.dir/rewrite/compensate.cc.o" "gcc" "src/CMakeFiles/xvr.dir/rewrite/compensate.cc.o.d"
+  "/root/repo/src/rewrite/contained.cc" "src/CMakeFiles/xvr.dir/rewrite/contained.cc.o" "gcc" "src/CMakeFiles/xvr.dir/rewrite/contained.cc.o.d"
+  "/root/repo/src/rewrite/prefix_join.cc" "src/CMakeFiles/xvr.dir/rewrite/prefix_join.cc.o" "gcc" "src/CMakeFiles/xvr.dir/rewrite/prefix_join.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/xvr.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/xvr.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/skeleton.cc" "src/CMakeFiles/xvr.dir/rewrite/skeleton.cc.o" "gcc" "src/CMakeFiles/xvr.dir/rewrite/skeleton.cc.o.d"
+  "/root/repo/src/selection/answerability.cc" "src/CMakeFiles/xvr.dir/selection/answerability.cc.o" "gcc" "src/CMakeFiles/xvr.dir/selection/answerability.cc.o.d"
+  "/root/repo/src/selection/heuristic_selector.cc" "src/CMakeFiles/xvr.dir/selection/heuristic_selector.cc.o" "gcc" "src/CMakeFiles/xvr.dir/selection/heuristic_selector.cc.o.d"
+  "/root/repo/src/selection/leaf_cover.cc" "src/CMakeFiles/xvr.dir/selection/leaf_cover.cc.o" "gcc" "src/CMakeFiles/xvr.dir/selection/leaf_cover.cc.o.d"
+  "/root/repo/src/selection/minimum_selector.cc" "src/CMakeFiles/xvr.dir/selection/minimum_selector.cc.o" "gcc" "src/CMakeFiles/xvr.dir/selection/minimum_selector.cc.o.d"
+  "/root/repo/src/storage/fragment.cc" "src/CMakeFiles/xvr.dir/storage/fragment.cc.o" "gcc" "src/CMakeFiles/xvr.dir/storage/fragment.cc.o.d"
+  "/root/repo/src/storage/fragment_store.cc" "src/CMakeFiles/xvr.dir/storage/fragment_store.cc.o" "gcc" "src/CMakeFiles/xvr.dir/storage/fragment_store.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/xvr.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/xvr.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/materializer.cc" "src/CMakeFiles/xvr.dir/storage/materializer.cc.o" "gcc" "src/CMakeFiles/xvr.dir/storage/materializer.cc.o.d"
+  "/root/repo/src/vfilter/nfa.cc" "src/CMakeFiles/xvr.dir/vfilter/nfa.cc.o" "gcc" "src/CMakeFiles/xvr.dir/vfilter/nfa.cc.o.d"
+  "/root/repo/src/vfilter/vfilter.cc" "src/CMakeFiles/xvr.dir/vfilter/vfilter.cc.o" "gcc" "src/CMakeFiles/xvr.dir/vfilter/vfilter.cc.o.d"
+  "/root/repo/src/vfilter/vfilter_serde.cc" "src/CMakeFiles/xvr.dir/vfilter/vfilter_serde.cc.o" "gcc" "src/CMakeFiles/xvr.dir/vfilter/vfilter_serde.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/xvr.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/xvr.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/random_doc.cc" "src/CMakeFiles/xvr.dir/workload/random_doc.cc.o" "gcc" "src/CMakeFiles/xvr.dir/workload/random_doc.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/xvr.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/xvr.dir/workload/workloads.cc.o.d"
+  "/root/repo/src/workload/xmark.cc" "src/CMakeFiles/xvr.dir/workload/xmark.cc.o" "gcc" "src/CMakeFiles/xvr.dir/workload/xmark.cc.o.d"
+  "/root/repo/src/xml/dewey.cc" "src/CMakeFiles/xvr.dir/xml/dewey.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/dewey.cc.o.d"
+  "/root/repo/src/xml/fst.cc" "src/CMakeFiles/xvr.dir/xml/fst.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/fst.cc.o.d"
+  "/root/repo/src/xml/label_dict.cc" "src/CMakeFiles/xvr.dir/xml/label_dict.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/label_dict.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xvr.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_tree.cc" "src/CMakeFiles/xvr.dir/xml/xml_tree.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/xml_tree.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/xvr.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/xvr.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

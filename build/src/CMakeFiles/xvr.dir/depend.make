@@ -1,0 +1,2 @@
+# Empty dependencies file for xvr.
+# This may be replaced when dependencies are built.

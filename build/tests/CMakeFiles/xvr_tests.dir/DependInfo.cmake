@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xvr_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/containment_test.cc" "tests/CMakeFiles/xvr_tests.dir/containment_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/containment_test.cc.o.d"
+  "/root/repo/tests/dewey_fst_test.cc" "tests/CMakeFiles/xvr_tests.dir/dewey_fst_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/dewey_fst_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/xvr_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/evaluate_test.cc" "tests/CMakeFiles/xvr_tests.dir/evaluate_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/evaluate_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/xvr_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/xvr_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/homomorphism_test.cc" "tests/CMakeFiles/xvr_tests.dir/homomorphism_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/homomorphism_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xvr_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/minimize_test.cc" "tests/CMakeFiles/xvr_tests.dir/minimize_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/minimize_test.cc.o.d"
+  "/root/repo/tests/nfa_test.cc" "tests/CMakeFiles/xvr_tests.dir/nfa_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/nfa_test.cc.o.d"
+  "/root/repo/tests/normalize_test.cc" "tests/CMakeFiles/xvr_tests.dir/normalize_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/normalize_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/xvr_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xvr_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/xvr_tests.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/rewrite_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/xvr_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/selection_test.cc" "tests/CMakeFiles/xvr_tests.dir/selection_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/selection_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/xvr_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tjfast_test.cc" "tests/CMakeFiles/xvr_tests.dir/tjfast_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/tjfast_test.cc.o.d"
+  "/root/repo/tests/vfilter_serde_test.cc" "tests/CMakeFiles/xvr_tests.dir/vfilter_serde_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/vfilter_serde_test.cc.o.d"
+  "/root/repo/tests/vfilter_test.cc" "tests/CMakeFiles/xvr_tests.dir/vfilter_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/vfilter_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/xvr_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xvr_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xpath_parser_test.cc" "tests/CMakeFiles/xvr_tests.dir/xpath_parser_test.cc.o" "gcc" "tests/CMakeFiles/xvr_tests.dir/xpath_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xvr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
