@@ -1,0 +1,128 @@
+// Batch answering throughput: single-thread vs. multi-thread queries/sec on
+// the XMark workload, plus the plan-cache effect on repeated queries.
+//
+// Unlike the paper-figure benches this one measures the pipeline refactor:
+// the whole read path is const, so BatchAnswer fans one shared engine across
+// a worker pool, and repeated queries reuse cached plans instead of
+// re-running VFILTER + selection.
+//
+// Output (stdout, one row per configuration):
+//   threads=N    queries/sec, speedup vs. 1 thread
+//   plan cache   cold vs. warm answering latency, hit ratio
+//
+// Env knobs: XVR_BENCH_VIEWS (default 1000), XVR_BENCH_SCALE (default 12),
+// XVR_BENCH_BATCH (default 512), XVR_BENCH_MAX_THREADS (default 8).
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/planner.h"
+
+namespace {
+
+using xvr::AnswerStrategy;
+using xvr::AnswerStrategyName;
+using xvr::PlanCache;
+using xvr::TreePattern;
+using xvr::WallTimer;
+
+struct RunResult {
+  double seconds = 0;
+  double qps = 0;
+};
+
+RunResult RunBatch(const xvr::Engine& engine,
+                   const std::vector<TreePattern>& batch,
+                   AnswerStrategy strategy, int threads) {
+  WallTimer timer;
+  auto results = engine.BatchAnswer(batch, strategy, threads);
+  RunResult out;
+  out.seconds = timer.ElapsedMicros() / 1e6;
+  size_t failures = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "warning: %zu/%zu queries failed\n", failures,
+                 results.size());
+  }
+  out.qps = out.seconds > 0 ? static_cast<double>(batch.size()) / out.seconds
+                            : 0;
+  return out;
+}
+
+void ResetCache(const xvr::Engine& engine) {
+  if (PlanCache* cache = engine.plan_cache()) {
+    cache->Clear();
+    cache->ResetStats();
+  }
+}
+
+}  // namespace
+
+int main() {
+  xvr::PaperSetup& setup = xvr_bench::QuerySetup();
+  const xvr::Engine& engine = *setup.engine;
+
+  const size_t batch_size = xvr_bench::EnvSize("XVR_BENCH_BATCH", 512);
+  const size_t max_threads = std::max<size_t>(
+      2, xvr_bench::EnvSize("XVR_BENCH_MAX_THREADS",
+                            std::min<size_t>(
+                                8, std::thread::hardware_concurrency())));
+
+  // The batch cycles the four Table III queries: a served workload repeats
+  // a small set of query shapes, which is exactly what the plan cache and
+  // the thread pool are for.
+  std::vector<TreePattern> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(setup.queries[i % setup.queries.size()]);
+  }
+
+  std::printf("bench_batch_throughput: %zu queries (Q1..Q4 cycled), %zu views,"
+              " doc %zu nodes\n\n",
+              batch.size(), setup.views_materialized,
+              engine.doc().size());
+
+  for (AnswerStrategy strategy : {AnswerStrategy::kHeuristicFiltered,
+                                  AnswerStrategy::kHeuristicSmallFragments,
+                                  AnswerStrategy::kMinimumFiltered}) {
+    std::printf("strategy %s\n", AnswerStrategyName(strategy));
+
+    // --- scaling: 1..max threads, cold cache each run -----------------------
+    double base_qps = 0;
+    for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+      ResetCache(engine);
+      const RunResult r =
+          RunBatch(engine, batch, strategy, static_cast<int>(threads));
+      if (threads == 1) {
+        base_qps = r.qps;
+      }
+      std::printf("  threads=%zu  %10.0f queries/sec  (%.2fx vs 1 thread)\n",
+                  threads, r.qps, base_qps > 0 ? r.qps / base_qps : 0.0);
+    }
+
+    // --- plan cache: cold run then warm run, single thread ------------------
+    ResetCache(engine);
+    const RunResult cold = RunBatch(engine, batch, strategy, 1);
+    const RunResult warm = RunBatch(engine, batch, strategy, 1);
+    if (PlanCache* cache = engine.plan_cache()) {
+      const PlanCache::Stats stats = cache->stats();
+      std::printf(
+          "  plan cache: cold %8.0f q/s, warm %8.0f q/s (%.2fx), "
+          "hit ratio %.3f (%llu hits / %llu lookups)\n",
+          cold.qps, warm.qps, cold.qps > 0 ? warm.qps / cold.qps : 0.0,
+          stats.HitRatio(),
+          static_cast<unsigned long long>(stats.hits),
+          static_cast<unsigned long long>(stats.hits + stats.misses));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

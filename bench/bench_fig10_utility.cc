@@ -64,7 +64,9 @@ void BM_Fig10_Utility(benchmark::State& state) {
   for (auto _ : state) {
     row = MeasureUtility(num_views, 200);
   }
-  state.SetLabel("V" + std::to_string(state.range(0)));
+  std::string label("V");
+  label += std::to_string(state.range(0));
+  state.SetLabel(label);
   state.counters["avg_utility"] = row.avg;
   state.counters["max_utility"] = row.max;
   state.counters["max_candidates"] = static_cast<double>(row.max_candidates);

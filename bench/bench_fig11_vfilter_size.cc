@@ -26,7 +26,9 @@ void BM_Fig11_VFilterSize(benchmark::State& state) {
   for (auto _ : state) {
     bytes = SerializedSize(i * 1000);
   }
-  state.SetLabel("V" + std::to_string(i));
+  std::string label("V");
+  label += std::to_string(i);
+  state.SetLabel(label);
   state.counters["size_kb"] = static_cast<double>(bytes) / 1024.0;
   state.counters["scaling_Si_over_S1"] =
       static_cast<double>(bytes) / static_cast<double>(S1Bytes());

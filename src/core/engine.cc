@@ -8,8 +8,6 @@
 #include "pattern/pattern_writer.h"
 #include "pattern/xpath_parser.h"
 #include "pattern/minimize.h"
-#include "selection/heuristic_selector.h"
-#include "selection/minimum_selector.h"
 #include "storage/kv_store.h"
 #include "vfilter/vfilter_serde.h"
 #include "xml/fst.h"
@@ -17,26 +15,6 @@
 #include "xml/xml_writer.h"
 
 namespace xvr {
-
-const char* AnswerStrategyName(AnswerStrategy strategy) {
-  switch (strategy) {
-    case AnswerStrategy::kBaseNodeIndex:
-      return "BN";
-    case AnswerStrategy::kBaseFullIndex:
-      return "BF";
-    case AnswerStrategy::kBaseTjfast:
-      return "BT";
-    case AnswerStrategy::kMinimumNoFilter:
-      return "MN";
-    case AnswerStrategy::kMinimumFiltered:
-      return "MV";
-    case AnswerStrategy::kHeuristicFiltered:
-      return "HV";
-    case AnswerStrategy::kHeuristicSmallFragments:
-      return "HB";
-  }
-  return "?";
-}
 
 Engine::Engine(XmlTree doc, EngineOptions options)
     : doc_(std::move(doc)),
@@ -54,6 +32,30 @@ Engine::Engine(XmlTree doc, EngineOptions options)
       return base_.Evaluate(pattern, BaseStrategy::kNodeIndex);
     };
   }
+
+  PlannerCatalog catalog;
+  catalog.vfilter = &vfilter_;
+  catalog.lookup = MakeLookup();
+  catalog.is_partial = [this](int32_t id) { return IsViewPartial(id); };
+  catalog.view_bytes = [this](int32_t id) {
+    return fragment_store_.ViewByteSize(id);
+  };
+  catalog.view_ids = [this] { return view_ids(); };
+  catalog.minimize_patterns = options_.minimize_patterns;
+  planner_ = std::make_unique<Planner>(std::move(catalog));
+
+  if (options_.plan_cache_capacity > 0) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
+  }
+
+  QueryPipeline::Deps deps;
+  deps.planner = planner_.get();
+  deps.cache = plan_cache_.get();
+  deps.base = &base_;
+  deps.fragments = &fragment_store_;
+  deps.doc = &doc_;
+  deps.catalog_version = [this] { return catalog_version(); };
+  pipeline_ = std::make_unique<QueryPipeline>(std::move(deps));
 }
 
 Result<TreePattern> Engine::Parse(const std::string& xpath) {
@@ -71,6 +73,7 @@ Result<int32_t> Engine::AddView(TreePattern view) {
   fragment_store_.PutView(id, std::move(fragments));
   vfilter_.AddView(id, view);
   views_.emplace(id, std::move(view));
+  BumpCatalogVersion();
   return id;
 }
 
@@ -87,6 +90,7 @@ Result<int32_t> Engine::AddViewCodesOnly(TreePattern view) {
   vfilter_.AddView(id, view);
   views_.emplace(id, std::move(view));
   partial_views_.insert(id);
+  BumpCatalogVersion();
   return id;
 }
 
@@ -97,6 +101,7 @@ int32_t Engine::AddViewPattern(TreePattern view) {
   const int32_t id = next_view_id_++;
   vfilter_.AddView(id, view);
   views_.emplace(id, std::move(view));
+  BumpCatalogVersion();
   return id;
 }
 
@@ -105,6 +110,7 @@ void Engine::RemoveView(int32_t id) {
     vfilter_.RemoveView(id);
     fragment_store_.RemoveView(id);
     partial_views_.erase(id);
+    BumpCatalogVersion();
   }
 }
 
@@ -130,138 +136,29 @@ ViewLookup Engine::MakeLookup() const {
 
 Result<SelectionResult> Engine::SelectViews(const TreePattern& query,
                                             AnswerStrategy strategy,
-                                            AnswerStats* stats) {
+                                            AnswerStats* stats) const {
   // NOTE: the query is used as given — the cover node indices in the result
-  // refer to it. AnswerQuery minimizes before calling here so that the same
-  // pattern flows through selection and rewriting.
-  WallTimer timer;
-  switch (strategy) {
-    case AnswerStrategy::kMinimumNoFilter: {
-      Result<SelectionResult> selection = SelectMinimum(
-          query, view_ids(), MakeLookup(),
-          [this](int32_t id) { return IsViewPartial(id); });
-      stats->selection_micros = timer.ElapsedMicros();
-      stats->candidates_after_filter = views_.size();
-      if (selection.ok()) {
-        stats->covers_computed = selection->covers_computed;
-        stats->views_selected = selection->views.size();
-      }
-      return selection;
-    }
-    case AnswerStrategy::kMinimumFiltered: {
-      FilterResult filtered = vfilter_.Filter(query);
-      stats->filter_micros = timer.ElapsedMicros();
-      stats->candidates_after_filter = filtered.candidates.size();
-      timer.Restart();
-      Result<SelectionResult> selection = SelectMinimum(
-          query, filtered.candidates, MakeLookup(),
-          [this](int32_t id) { return IsViewPartial(id); });
-      stats->selection_micros = timer.ElapsedMicros();
-      if (selection.ok()) {
-        stats->covers_computed = selection->covers_computed;
-        stats->views_selected = selection->views.size();
-      }
-      return selection;
-    }
-    case AnswerStrategy::kHeuristicFiltered:
-    case AnswerStrategy::kHeuristicSmallFragments: {
-      FilterResult filtered = vfilter_.Filter(query);
-      stats->filter_micros = timer.ElapsedMicros();
-      stats->candidates_after_filter = filtered.candidates.size();
-      timer.Restart();
-      HeuristicOptions options;
-      options.is_partial = [this](int32_t id) { return IsViewPartial(id); };
-      if (strategy == AnswerStrategy::kHeuristicSmallFragments) {
-        options.order = HeuristicOptions::Order::kFragmentBytes;
-        options.view_bytes = [this](int32_t id) {
-          return fragment_store_.ViewByteSize(id);
-        };
-      }
-      Result<SelectionResult> selection =
-          SelectHeuristic(query, filtered, MakeLookup(), options);
-      stats->selection_micros = timer.ElapsedMicros();
-      if (selection.ok()) {
-        stats->covers_computed = selection->covers_computed;
-        stats->views_selected = selection->views.size();
-      }
-      return selection;
-    }
-    case AnswerStrategy::kBaseNodeIndex:
-    case AnswerStrategy::kBaseFullIndex:
-    case AnswerStrategy::kBaseTjfast:
-      return Status::InvalidArgument(
-          "base-data strategies do not select views");
-  }
-  return Status::Internal("unknown strategy");
+  // refer to it. AnswerQuery plans on the minimized pattern so that the
+  // same pattern flows through selection and rewriting.
+  ExecutionContext ctx;
+  return planner_->Select(query, strategy, stats, &ctx.nfa_scratch);
 }
 
 Result<Engine::Answer> Engine::AnswerQuery(const TreePattern& query,
-                                           AnswerStrategy strategy) {
-  if (options_.minimize_patterns) {
-    TreePattern minimized = query;
-    if (MinimizePattern(&minimized) > 0) {
-      EngineOptions saved_options = options_;
-      options_.minimize_patterns = false;  // already minimal now
-      Result<Answer> result = AnswerQuery(minimized, strategy);
-      options_ = std::move(saved_options);
-      return result;
-    }
-  }
-  Answer answer;
-  WallTimer total;
-  if (strategy == AnswerStrategy::kBaseNodeIndex ||
-      strategy == AnswerStrategy::kBaseFullIndex ||
-      strategy == AnswerStrategy::kBaseTjfast) {
-    WallTimer timer;
-    const BaseStrategy base_strategy =
-        strategy == AnswerStrategy::kBaseNodeIndex ? BaseStrategy::kNodeIndex
-        : strategy == AnswerStrategy::kBaseFullIndex
-            ? BaseStrategy::kFullIndex
-            : BaseStrategy::kTjfast;
-    const std::vector<NodeId> nodes = base_.Evaluate(query, base_strategy);
-    answer.stats.execution_micros = timer.ElapsedMicros();
-    answer.codes.reserve(nodes.size());
-    for (NodeId n : nodes) {
-      answer.codes.push_back(doc_.dewey(n));
-    }
-    std::sort(answer.codes.begin(), answer.codes.end());
-    answer.stats.total_micros = total.ElapsedMicros();
-    return answer;
-  }
+                                           AnswerStrategy strategy) const {
+  ExecutionContext ctx;
+  return pipeline_->Answer(query, strategy, &ctx);
+}
 
-  SelectionResult selection;
-  XVR_ASSIGN_OR_RETURN(selection,
-                       SelectViews(query, strategy, &answer.stats));
-
-  WallTimer timer;
-  Result<std::vector<DeweyCode>> codes =
-      AnswerWithViews(query, selection, fragment_store_, *doc_.fst(),
-                      &answer.stats.rewrite);
-  answer.stats.execution_micros = timer.ElapsedMicros();
-  answer.stats.total_micros = total.ElapsedMicros();
-  if (!codes.ok()) {
-    return codes.status();
-  }
-  answer.codes = std::move(codes).value();
-  return answer;
+std::vector<Result<Engine::Answer>> Engine::BatchAnswer(
+    std::span<const TreePattern> queries, AnswerStrategy strategy,
+    int num_threads) const {
+  return pipeline_->BatchAnswer(queries, strategy, num_threads);
 }
 
 Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
-    const TreePattern& query, AnswerStrategy strategy) {
-  if (options_.minimize_patterns) {
-    TreePattern minimized = query;
-    if (MinimizePattern(&minimized) > 0) {
-      EngineOptions saved_options = options_;
-      options_.minimize_patterns = false;
-      Result<std::vector<MaterializedAnswer>> result =
-          AnswerQueryXml(minimized, strategy);
-      options_ = std::move(saved_options);
-      return result;
-    }
-  }
-  if (strategy == AnswerStrategy::kBaseNodeIndex ||
-      strategy == AnswerStrategy::kBaseFullIndex ||
-      strategy == AnswerStrategy::kBaseTjfast) {
+    const TreePattern& query, AnswerStrategy strategy) const {
+  if (IsBaseStrategy(strategy)) {
     Answer answer;
     XVR_ASSIGN_OR_RETURN(answer, AnswerQuery(query, strategy));
     std::vector<MaterializedAnswer> out;
@@ -272,17 +169,18 @@ Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
     }
     return out;
   }
-  AnswerStats stats;
-  SelectionResult selection;
-  XVR_ASSIGN_OR_RETURN(selection, SelectViews(query, strategy, &stats));
-  return AnswerWithViewsXml(query, selection, fragment_store_, *doc_.fst(),
-                            doc_.labels());
+  ExecutionContext ctx;
+  std::shared_ptr<const QueryPlan> plan;
+  XVR_ASSIGN_OR_RETURN(plan, pipeline_->Plan(query, strategy, &ctx));
+  return AnswerWithViewsXml(plan->query, plan->selection, fragment_store_,
+                            *doc_.fst(), doc_.labels());
 }
 
 Status Engine::SaveState(const std::string& path) const {
   KvStore kv;
   kv.Put("meta/doc", WriteXml(doc_, doc_.root()));
-  for (const auto& [id, pattern] : views_) {
+  for (const int32_t id : view_ids()) {
+    const TreePattern& pattern = *view(id);
     const std::string key =
         "view/" + std::string(10 - std::min<size_t>(
                                        10, std::to_string(id).size()),
@@ -349,10 +247,14 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
   if (const std::string* next = kv.Get("meta/next_view_id")) {
     engine->next_view_id_ = static_cast<int32_t>(std::atoi(next->c_str()));
   }
+  // The catalog was rebuilt wholesale: retire any plan cached against the
+  // pristine (empty) catalog the constructor produced.
+  engine->BumpCatalogVersion();
   return engine;
 }
 
-Engine::BestEffortAnswer Engine::AnswerBestEffort(const TreePattern& query) {
+Engine::BestEffortAnswer Engine::AnswerBestEffort(
+    const TreePattern& query) const {
   BestEffortAnswer out;
   Result<Answer> exact =
       AnswerQuery(query, AnswerStrategy::kHeuristicFiltered);

@@ -6,6 +6,16 @@
 // two selection strategies and the multi-view rewriter, plus the base-data
 // baselines (BN/BF) for comparison.
 //
+// Since the pipeline refactor the read path is staged: a Planner turns
+// (query, strategy) into an immutable QueryPlan (VFILTER candidates +
+// selected views + compensations), an LRU PlanCache keyed on the canonical
+// pattern reuses plans across repeated queries, and a QueryPipeline
+// executes plans against the fragment store / base indexes. All shared
+// state is read-only while answering, so BatchAnswer can fan a workload
+// across a worker pool. Catalog mutations (AddView/RemoveView) bump a
+// version counter that lazily invalidates cached plans; they must not run
+// concurrently with answering.
+//
 // Typical use:
 //
 //   Engine engine(GenerateXmark({}));
@@ -15,13 +25,18 @@
 //   auto answer = engine.AnswerQuery(*query, AnswerStrategy::kHeuristicFiltered);
 //   // answer->codes == the extended Dewey codes of the query result.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "core/pipeline.h"
+#include "core/planner.h"
 #include "exec/evaluator.h"
 #include "pattern/tree_pattern.h"
 #include "rewrite/contained.h"
@@ -34,31 +49,6 @@
 
 namespace xvr {
 
-enum class AnswerStrategy {
-  kBaseNodeIndex,      // BN: base data, basic node index
-  kBaseFullIndex,      // BF: base data, full path index
-  kBaseTjfast,         // BT: base data, TJFast on extended Dewey codes [22]
-  kMinimumNoFilter,    // MN: minimum view set, no VFILTER
-  kMinimumFiltered,    // MV: minimum view set over VFILTER candidates
-  kHeuristicFiltered,  // HV: Algorithm 2 over VFILTER candidates
-  // HB: the cost-model variant §IV-B sketches — Algorithm 2 ordering
-  // candidates by materialized fragment size instead of path length.
-  kHeuristicSmallFragments,
-};
-
-const char* AnswerStrategyName(AnswerStrategy strategy);
-
-struct AnswerStats {
-  double filter_micros = 0;     // VFILTER time (zero for BN/BF/MN)
-  double selection_micros = 0;  // leaf covers + set cover / greedy walk
-  double execution_micros = 0;  // fragment refinement/join or base scan
-  double total_micros = 0;
-  size_t candidates_after_filter = 0;
-  size_t views_selected = 0;
-  int covers_computed = 0;
-  RewriteStats rewrite;
-};
-
 struct EngineOptions {
   MaterializeOptions materialize;  // 128 KB per-view cap by default
   VFilterOptions vfilter;
@@ -66,6 +56,8 @@ struct EngineOptions {
   // patterns are minimized, §II). Sound: minimization preserves
   // equivalence and never drops the answer branch.
   bool minimize_patterns = true;
+  // Number of plans the LRU PlanCache retains; 0 disables plan caching.
+  size_t plan_cache_capacity = 1024;
 };
 
 class Engine {
@@ -84,6 +76,9 @@ class Engine {
   Result<TreePattern> Parse(const std::string& xpath);
 
   // --- view catalog ---------------------------------------------------------
+  //
+  // Catalog mutations are NOT safe to run concurrently with answering; they
+  // bump the catalog version, which invalidates cached plans lazily.
 
   // Materializes and indexes a view. Fails with NOT_FOUND for empty results
   // and CAPACITY_EXCEEDED when the per-view fragment budget is hit.
@@ -106,23 +101,37 @@ class Engine {
 
   const TreePattern* view(int32_t id) const;
   size_t num_views() const { return views_.size(); }
+  // Sorted ascending (deterministic selection tie-breaking and output).
   std::vector<int32_t> view_ids() const;
 
-  // --- answering ------------------------------------------------------------
+  // Bumped by every catalog mutation; cached plans from older versions are
+  // never served.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
 
-  struct Answer {
-    std::vector<DeweyCode> codes;
-    AnswerStats stats;
-  };
+  // --- answering ------------------------------------------------------------
+  //
+  // The read path is const: answering never mutates engine state other than
+  // the internally synchronized plan cache.
+
+  using Answer = QueryAnswer;
 
   Result<Answer> AnswerQuery(const TreePattern& query,
-                             AnswerStrategy strategy);
+                             AnswerStrategy strategy) const;
+
+  // Answers all queries, fanning them across `num_threads` workers (0 or 1
+  // = sequential). Results are positionally parallel to `queries` and
+  // identical to sequential AnswerQuery calls.
+  std::vector<Result<Answer>> BatchAnswer(std::span<const TreePattern> queries,
+                                          AnswerStrategy strategy,
+                                          int num_threads = 0) const;
 
   // Answers and materializes each result as XML text: from the document for
   // base strategies, from the view fragments (no base access) for view
   // strategies.
   Result<std::vector<MaterializedAnswer>> AnswerQueryXml(
-      const TreePattern& query, AnswerStrategy strategy);
+      const TreePattern& query, AnswerStrategy strategy) const;
 
   // Best-effort answering (§VII future work): tries the equivalent
   // multi-view rewriting first; when the query is not answerable, falls
@@ -132,13 +141,14 @@ class Engine {
     bool exact = false;           // true: equivalent rewriting succeeded
     size_t views_used = 0;
   };
-  BestEffortAnswer AnswerBestEffort(const TreePattern& query);
+  BestEffortAnswer AnswerBestEffort(const TreePattern& query) const;
 
   // Selection only ("lookup" in the paper's Fig. 9). Valid for the three
-  // view strategies.
+  // view strategies. The query is used as given (no minimization): the
+  // cover node indices in the result refer to it.
   Result<SelectionResult> SelectViews(const TreePattern& query,
                                       AnswerStrategy strategy,
-                                      AnswerStats* stats);
+                                      AnswerStats* stats) const;
 
   // --- persistence -----------------------------------------------------------
   //
@@ -156,9 +166,16 @@ class Engine {
   const VFilter& vfilter() const { return vfilter_; }
   const BaseEvaluator& base() const { return base_; }
   const FragmentStore& fragments() const { return fragment_store_; }
+  const QueryPipeline& pipeline() const { return *pipeline_; }
+  const Planner& planner() const { return *planner_; }
+  // nullptr when plan caching is disabled (plan_cache_capacity == 0).
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
 
  private:
   ViewLookup MakeLookup() const;
+  void BumpCatalogVersion() {
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   XmlTree doc_;
   EngineOptions options_;
@@ -168,6 +185,12 @@ class Engine {
   std::unordered_map<int32_t, TreePattern> views_;
   std::unordered_set<int32_t> partial_views_;  // codes-only materialization
   int32_t next_view_id_ = 0;
+  std::atomic<uint64_t> catalog_version_{0};
+
+  // The staged read path (construction order: after the components above).
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<QueryPipeline> pipeline_;
 };
 
 }  // namespace xvr

@@ -1,0 +1,155 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "rewrite/rewriter.h"
+#include "xml/fst.h"
+
+namespace xvr {
+
+QueryPipeline::QueryPipeline(Deps deps) : deps_(std::move(deps)) {
+  XVR_CHECK(deps_.planner != nullptr);
+  XVR_CHECK(deps_.base != nullptr);
+  XVR_CHECK(deps_.fragments != nullptr);
+  XVR_CHECK(deps_.doc != nullptr);
+  XVR_CHECK(deps_.catalog_version != nullptr);
+}
+
+Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
+    const TreePattern& query, AnswerStrategy strategy, ExecutionContext* ctx,
+    bool* cache_hit) const {
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  const uint64_t version = deps_.catalog_version();
+  std::string key;
+  if (deps_.cache != nullptr) {
+    key = PlanCacheKey(query, strategy);
+    if (std::shared_ptr<const QueryPlan> cached =
+            deps_.cache->Lookup(key, version)) {
+      if (cache_hit != nullptr) {
+        *cache_hit = true;
+      }
+      return cached;
+    }
+  }
+  QueryPlan plan;
+  XVR_ASSIGN_OR_RETURN(
+      plan, deps_.planner->BuildPlan(query, strategy, version,
+                                     &ctx->nfa_scratch));
+  auto shared = std::make_shared<const QueryPlan>(std::move(plan));
+  if (deps_.cache != nullptr) {
+    deps_.cache->Insert(key, shared);
+  }
+  return shared;
+}
+
+Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
+                                           ExecutionContext* ctx) const {
+  (void)ctx;  // base scans and the rewriter keep their scratch call-local
+  QueryAnswer answer;
+  answer.stats = plan.plan_stats;
+  WallTimer timer;
+  if (!plan.uses_views) {
+    const std::vector<NodeId> nodes =
+        deps_.base->Evaluate(plan.query, plan.base_strategy);
+    answer.stats.execution_micros = timer.ElapsedMicros();
+    answer.codes.reserve(nodes.size());
+    for (NodeId n : nodes) {
+      answer.codes.push_back(deps_.doc->dewey(n));
+    }
+    std::sort(answer.codes.begin(), answer.codes.end());
+    answer.stats.total_micros = timer.ElapsedMicros();
+    return answer;
+  }
+  Result<std::vector<DeweyCode>> codes =
+      AnswerWithViews(plan.query, plan.selection, *deps_.fragments,
+                      *deps_.doc->fst(), &answer.stats.rewrite);
+  answer.stats.execution_micros = timer.ElapsedMicros();
+  answer.stats.total_micros =
+      answer.stats.execution_micros + answer.stats.filter_micros +
+      answer.stats.selection_micros;
+  if (!codes.ok()) {
+    return codes.status();
+  }
+  answer.codes = std::move(codes).value();
+  return answer;
+}
+
+Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
+                                          AnswerStrategy strategy,
+                                          ExecutionContext* ctx) const {
+  WallTimer total;
+  std::shared_ptr<const QueryPlan> plan;
+  bool cache_hit = false;
+  XVR_ASSIGN_OR_RETURN(plan, Plan(query, strategy, ctx, &cache_hit));
+  Result<QueryAnswer> answer = Execute(*plan, ctx);
+  if (answer.ok()) {
+    answer->stats.plan_cache_hit = cache_hit;
+    answer->stats.total_micros = total.ElapsedMicros();
+  }
+  return answer;
+}
+
+std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
+    std::span<const TreePattern> queries, AnswerStrategy strategy,
+    int num_threads) const {
+  std::vector<Result<QueryAnswer>> results;
+  results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results.emplace_back(Status::Internal("batch slot not filled"));
+  }
+  if (queries.empty()) {
+    return results;
+  }
+
+  // Build any lazily-constructed shared state up front so workers only ever
+  // read it.
+  if (!IsBaseStrategy(strategy)) {
+    XVR_CHECK(deps_.doc->fst() != nullptr)
+        << "document has no FST (Dewey codes not assigned?)";
+  } else {
+    deps_.base->Warm(strategy == AnswerStrategy::kBaseNodeIndex
+                         ? BaseStrategy::kNodeIndex
+                     : strategy == AnswerStrategy::kBaseFullIndex
+                         ? BaseStrategy::kFullIndex
+                         : BaseStrategy::kTjfast);
+  }
+
+  const size_t workers = std::min<size_t>(
+      queries.size(),
+      static_cast<size_t>(std::max(num_threads, 1)));
+  if (workers <= 1) {
+    ExecutionContext ctx;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Answer(queries[i], strategy, &ctx);
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    ExecutionContext ctx;  // per-thread scratch
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < queries.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = Answer(queries[i], strategy, &ctx);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+}  // namespace xvr

@@ -1,0 +1,93 @@
+#ifndef XVR_CORE_PIPELINE_H_
+#define XVR_CORE_PIPELINE_H_
+
+// The staged query pipeline: plan (VFILTER + selection, cacheable) then
+// execute (fragment refinement/join or base scan).
+//
+// Thread-safety contract: every component the pipeline reads — the VFILTER
+// NFA, the selectors, the rewriter, the fragment store, the base-data
+// indexes — is const during answering; all per-call mutable scratch lives
+// in an ExecutionContext owned by the calling thread. One pipeline can
+// therefore serve any number of threads concurrently, which is what
+// BatchAnswer exploits: it fans a batch of queries across a small worker
+// pool, each worker carrying its own context, all sharing the plans in the
+// PlanCache.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planner.h"
+#include "storage/fragment_store.h"
+#include "vfilter/nfa.h"
+#include "xml/dewey.h"
+#include "xml/xml_tree.h"
+
+namespace xvr {
+
+// Per-call scratch. Reusable across calls on the same thread; never shared
+// between threads. Everything a query answer needs to mutate lives here (or
+// in the call frame), keeping the shared engine state immutable.
+struct ExecutionContext {
+  // NFA runtime state for VFilter::Filter (frontier, visited epochs).
+  NfaReadScratch nfa_scratch;
+};
+
+// What AnswerQuery returns: the extended Dewey codes of the query result
+// plus the per-stage timings.
+struct QueryAnswer {
+  std::vector<DeweyCode> codes;
+  AnswerStats stats;
+};
+
+class QueryPipeline {
+ public:
+  // All pointers must outlive the pipeline. `cache` may be nullptr to
+  // disable plan caching. `catalog_version` reports the current view
+  // catalog version (bumped by AddView/RemoveView) and is consulted on
+  // every cache lookup/insert.
+  struct Deps {
+    const Planner* planner = nullptr;
+    PlanCache* cache = nullptr;
+    const BaseEvaluator* base = nullptr;
+    const FragmentStore* fragments = nullptr;
+    const XmlTree* doc = nullptr;
+    std::function<uint64_t()> catalog_version;
+  };
+
+  explicit QueryPipeline(Deps deps);
+
+  // Stage 1: returns a shared immutable plan for (query, strategy), served
+  // from the cache when a fresh one exists, built (and cached) otherwise.
+  // `cache_hit`, when non-null, reports where the plan came from.
+  Result<std::shared_ptr<const QueryPlan>> Plan(
+      const TreePattern& query, AnswerStrategy strategy,
+      ExecutionContext* ctx, bool* cache_hit = nullptr) const;
+
+  // Stage 2: executes a plan. Never mutates shared state; `plan` may be
+  // executed by many threads at once.
+  Result<QueryAnswer> Execute(const QueryPlan& plan,
+                              ExecutionContext* ctx) const;
+
+  // Plan + execute.
+  Result<QueryAnswer> Answer(const TreePattern& query,
+                             AnswerStrategy strategy,
+                             ExecutionContext* ctx) const;
+
+  // Answers all queries with `num_threads` workers (0 or 1 = sequential in
+  // the calling thread; capped at the batch size). Results are positionally
+  // parallel to `queries` and identical to calling Answer sequentially.
+  std::vector<Result<QueryAnswer>> BatchAnswer(
+      std::span<const TreePattern> queries, AnswerStrategy strategy,
+      int num_threads) const;
+
+ private:
+  Deps deps_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_CORE_PIPELINE_H_

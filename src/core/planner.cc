@@ -1,0 +1,197 @@
+#include "core/planner.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "pattern/minimize.h"
+#include "selection/heuristic_selector.h"
+#include "selection/minimum_selector.h"
+
+namespace xvr {
+
+const char* AnswerStrategyName(AnswerStrategy strategy) {
+  switch (strategy) {
+    case AnswerStrategy::kBaseNodeIndex:
+      return "BN";
+    case AnswerStrategy::kBaseFullIndex:
+      return "BF";
+    case AnswerStrategy::kBaseTjfast:
+      return "BT";
+    case AnswerStrategy::kMinimumNoFilter:
+      return "MN";
+    case AnswerStrategy::kMinimumFiltered:
+      return "MV";
+    case AnswerStrategy::kHeuristicFiltered:
+      return "HV";
+    case AnswerStrategy::kHeuristicSmallFragments:
+      return "HB";
+  }
+  return "?";
+}
+
+Planner::Planner(PlannerCatalog catalog) : catalog_(std::move(catalog)) {}
+
+Result<SelectionResult> Planner::Select(const TreePattern& query,
+                                        AnswerStrategy strategy,
+                                        AnswerStats* stats,
+                                        NfaReadScratch* scratch) const {
+  WallTimer timer;
+  switch (strategy) {
+    case AnswerStrategy::kMinimumNoFilter: {
+      const std::vector<int32_t> ids = catalog_.view_ids();
+      Result<SelectionResult> selection =
+          SelectMinimum(query, ids, catalog_.lookup, catalog_.is_partial);
+      stats->selection_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = ids.size();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kMinimumFiltered: {
+      FilterResult filtered = catalog_.vfilter->Filter(query, scratch);
+      stats->filter_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = filtered.candidates.size();
+      timer.Restart();
+      Result<SelectionResult> selection =
+          SelectMinimum(query, filtered.candidates, catalog_.lookup,
+                        catalog_.is_partial);
+      stats->selection_micros = timer.ElapsedMicros();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kHeuristicFiltered:
+    case AnswerStrategy::kHeuristicSmallFragments: {
+      FilterResult filtered = catalog_.vfilter->Filter(query, scratch);
+      stats->filter_micros = timer.ElapsedMicros();
+      stats->candidates_after_filter = filtered.candidates.size();
+      timer.Restart();
+      HeuristicOptions options;
+      options.is_partial = catalog_.is_partial;
+      if (strategy == AnswerStrategy::kHeuristicSmallFragments) {
+        options.order = HeuristicOptions::Order::kFragmentBytes;
+        options.view_bytes = catalog_.view_bytes;
+      }
+      Result<SelectionResult> selection =
+          SelectHeuristic(query, filtered, catalog_.lookup, options);
+      stats->selection_micros = timer.ElapsedMicros();
+      if (selection.ok()) {
+        stats->covers_computed = selection->covers_computed;
+        stats->views_selected = selection->views.size();
+      }
+      return selection;
+    }
+    case AnswerStrategy::kBaseNodeIndex:
+    case AnswerStrategy::kBaseFullIndex:
+    case AnswerStrategy::kBaseTjfast:
+      return Status::InvalidArgument(
+          "base-data strategies do not select views");
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Result<QueryPlan> Planner::BuildPlan(const TreePattern& query,
+                                     AnswerStrategy strategy,
+                                     uint64_t catalog_version,
+                                     NfaReadScratch* scratch) const {
+  QueryPlan plan;
+  plan.query = query;
+  plan.strategy = strategy;
+  plan.catalog_version = catalog_version;
+  if (catalog_.minimize_patterns) {
+    MinimizePattern(&plan.query);
+  }
+  if (IsBaseStrategy(strategy)) {
+    plan.uses_views = false;
+    plan.base_strategy =
+        strategy == AnswerStrategy::kBaseNodeIndex  ? BaseStrategy::kNodeIndex
+        : strategy == AnswerStrategy::kBaseFullIndex
+            ? BaseStrategy::kFullIndex
+            : BaseStrategy::kTjfast;
+    return plan;
+  }
+  plan.uses_views = true;
+  XVR_ASSIGN_OR_RETURN(
+      plan.selection,
+      Select(plan.query, strategy, &plan.plan_stats, scratch));
+  return plan;
+}
+
+std::string PlanCacheKey(const TreePattern& query, AnswerStrategy strategy) {
+  std::string key = query.CanonicalKey();
+  key.push_back('\x01');
+  key.append(AnswerStrategyName(strategy));
+  return key;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(
+    const std::string& key, uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->second->catalog_version != catalog_version) {
+    // The catalog changed since this plan was built: the candidate set or
+    // the selected views may no longer be valid. Drop the entry.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const QueryPlan> plan) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PlanCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
+}  // namespace xvr

@@ -1,0 +1,191 @@
+#ifndef XVR_CORE_PLANNER_H_
+#define XVR_CORE_PLANNER_H_
+
+// The planning stage of the query pipeline.
+//
+// Planning turns a query pattern into a QueryPlan — everything that depends
+// only on the pattern and the current view catalog, nothing that depends on
+// a particular execution: the minimized pattern, the VFILTER candidate set,
+// the selected view set with per-view leaf covers (the paper's Algorithm 2
+// or the minimum set-cover DP), and the planning-phase stats. Plans are
+// immutable once built, so they can be shared across threads and cached
+// across calls; executing a plan never mutates it.
+//
+// The Planner itself is const-correct and thread-safe: it holds read-only
+// accessors into the engine's catalog and routes all NFA runtime state into
+// a caller-provided NfaReadScratch. PlanCache is an LRU keyed on the query
+// pattern's canonical key + strategy; entries carry the catalog version they
+// were planned against and are dropped lazily when the catalog has changed
+// (AddView/RemoveView bump the version).
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "pattern/tree_pattern.h"
+#include "rewrite/rewriter.h"
+#include "selection/answerability.h"
+#include "vfilter/vfilter.h"
+
+namespace xvr {
+
+enum class AnswerStrategy {
+  kBaseNodeIndex,      // BN: base data, basic node index
+  kBaseFullIndex,      // BF: base data, full path index
+  kBaseTjfast,         // BT: base data, TJFast on extended Dewey codes [22]
+  kMinimumNoFilter,    // MN: minimum view set, no VFILTER
+  kMinimumFiltered,    // MV: minimum view set over VFILTER candidates
+  kHeuristicFiltered,  // HV: Algorithm 2 over VFILTER candidates
+  // HB: the cost-model variant §IV-B sketches — Algorithm 2 ordering
+  // candidates by materialized fragment size instead of path length.
+  kHeuristicSmallFragments,
+};
+
+inline constexpr AnswerStrategy kAllAnswerStrategies[] = {
+    AnswerStrategy::kBaseNodeIndex,     AnswerStrategy::kBaseFullIndex,
+    AnswerStrategy::kBaseTjfast,        AnswerStrategy::kMinimumNoFilter,
+    AnswerStrategy::kMinimumFiltered,   AnswerStrategy::kHeuristicFiltered,
+    AnswerStrategy::kHeuristicSmallFragments,
+};
+
+const char* AnswerStrategyName(AnswerStrategy strategy);
+
+inline bool IsBaseStrategy(AnswerStrategy strategy) {
+  return strategy == AnswerStrategy::kBaseNodeIndex ||
+         strategy == AnswerStrategy::kBaseFullIndex ||
+         strategy == AnswerStrategy::kBaseTjfast;
+}
+
+struct AnswerStats {
+  double filter_micros = 0;     // VFILTER time (zero for BN/BF/MN)
+  double selection_micros = 0;  // leaf covers + set cover / greedy walk
+  double execution_micros = 0;  // fragment refinement/join or base scan
+  double total_micros = 0;
+  size_t candidates_after_filter = 0;
+  size_t views_selected = 0;
+  int covers_computed = 0;
+  // True when the plan (filter + selection) came out of the PlanCache; the
+  // filter/selection timings then report the original planning cost, not
+  // time spent on this call.
+  bool plan_cache_hit = false;
+  RewriteStats rewrite;
+};
+
+// The immutable product of the planning stage. `query` is the pattern the
+// plan was built for (minimized when the planner minimizes); the cover node
+// indices inside `selection` refer to it, so execution must use this
+// pattern, not the caller's original.
+struct QueryPlan {
+  TreePattern query;
+  AnswerStrategy strategy = AnswerStrategy::kHeuristicFiltered;
+
+  // Base strategies bypass selection entirely.
+  bool uses_views = false;
+  BaseStrategy base_strategy = BaseStrategy::kNodeIndex;
+
+  // Valid when uses_views.
+  SelectionResult selection;
+
+  // Planning-phase stats (filter/selection timings, candidate counts).
+  AnswerStats plan_stats;
+
+  // The catalog version the plan was built against (cache invalidation).
+  uint64_t catalog_version = 0;
+};
+
+// Read-only accessors into the owning engine's catalog. All callables must
+// be safe to invoke concurrently with other reads (they are only consulted
+// while the catalog is not being mutated).
+struct PlannerCatalog {
+  const VFilter* vfilter = nullptr;
+  ViewLookup lookup;
+  PartialLookup is_partial;
+  // Materialized byte size per view (the HB ordering); may be empty when HB
+  // is never used.
+  std::function<size_t(int32_t)> view_bytes;
+  // All view ids, sorted ascending (deterministic MN selection order).
+  std::function<std::vector<int32_t>()> view_ids;
+  // Minimize query patterns before planning (paper §II assumption).
+  bool minimize_patterns = true;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerCatalog catalog);
+
+  // Runs VFILTER + view selection for `query` exactly as given (no
+  // minimization — the cover node indices in the result refer to the
+  // caller's pattern). Base strategies are INVALID_ARGUMENT.
+  Result<SelectionResult> Select(const TreePattern& query,
+                                 AnswerStrategy strategy, AnswerStats* stats,
+                                 NfaReadScratch* scratch) const;
+
+  // Builds a complete plan: minimizes (when configured), classifies the
+  // strategy and, for view strategies, selects the view set.
+  Result<QueryPlan> BuildPlan(const TreePattern& query,
+                              AnswerStrategy strategy,
+                              uint64_t catalog_version,
+                              NfaReadScratch* scratch) const;
+
+ private:
+  PlannerCatalog catalog_;
+};
+
+// Cache key of a (query, strategy) pair: the pattern's canonical structural
+// key, so structurally equal patterns share a plan regardless of how they
+// were built.
+std::string PlanCacheKey(const TreePattern& query, AnswerStrategy strategy);
+
+// A thread-safe LRU cache of shared immutable plans. Stale entries (whose
+// catalog_version differs from the current one) are dropped on lookup.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 1024);
+
+  // Returns the cached plan for `key` when present and planned against
+  // `catalog_version`; nullptr otherwise (a stale entry is evicted and
+  // counted in stats().stale_drops).
+  std::shared_ptr<const QueryPlan> Lookup(const std::string& key,
+                                          uint64_t catalog_version);
+
+  void Insert(const std::string& key,
+              std::shared_ptr<const QueryPlan> plan);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;    // capacity evictions
+    uint64_t stale_drops = 0;  // catalog-version invalidations
+    double HitRatio() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+  void ResetStats();
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const QueryPlan>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_CORE_PLANNER_H_

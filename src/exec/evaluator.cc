@@ -3,24 +3,36 @@
 namespace xvr {
 
 const NodeIndex& BaseEvaluator::node_index() const {
-  if (node_index_ == nullptr) {
-    node_index_ = std::make_unique<NodeIndex>(tree_);
-  }
+  std::call_once(node_once_,
+                 [this] { node_index_ = std::make_unique<NodeIndex>(tree_); });
   return *node_index_;
 }
 
 const PathIndex& BaseEvaluator::path_index() const {
-  if (path_index_ == nullptr) {
-    path_index_ = std::make_unique<PathIndex>(tree_);
-  }
+  std::call_once(path_once_,
+                 [this] { path_index_ = std::make_unique<PathIndex>(tree_); });
   return *path_index_;
 }
 
 const TjFastEvaluator& BaseEvaluator::tjfast() const {
-  if (tjfast_ == nullptr) {
+  std::call_once(tjfast_once_, [this] {
     tjfast_ = std::make_unique<TjFastEvaluator>(tree_, node_index());
-  }
+  });
   return *tjfast_;
+}
+
+void BaseEvaluator::Warm(BaseStrategy strategy) const {
+  switch (strategy) {
+    case BaseStrategy::kNodeIndex:
+      node_index();
+      break;
+    case BaseStrategy::kFullIndex:
+      path_index();
+      break;
+    case BaseStrategy::kTjfast:
+      tjfast();
+      break;
+  }
 }
 
 std::vector<NodeId> BaseEvaluator::Evaluate(const TreePattern& pattern,

@@ -3,9 +3,11 @@
 
 // Facade over the two base-data execution baselines of the paper's Fig. 8:
 // BN (basic node index) and BF (full path index). Indexes are built lazily
-// and cached.
+// and cached; the build is guarded by std::call_once so concurrent readers
+// (the batch pipeline) can share one evaluator.
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exec/node_index.h"
@@ -33,8 +35,15 @@ class BaseEvaluator {
   const PathIndex& path_index() const;
   const TjFastEvaluator& tjfast() const;
 
+  // Eagerly builds the index the strategy needs (call before fanning a
+  // batch across threads to keep the first queries from paying the build).
+  void Warm(BaseStrategy strategy) const;
+
  private:
   const XmlTree& tree_;
+  mutable std::once_flag node_once_;
+  mutable std::once_flag path_once_;
+  mutable std::once_flag tjfast_once_;
   mutable std::unique_ptr<NodeIndex> node_index_;
   mutable std::unique_ptr<PathIndex> path_index_;
   mutable std::unique_ptr<TjFastEvaluator> tjfast_;

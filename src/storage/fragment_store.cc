@@ -67,7 +67,17 @@ size_t FragmentStore::TotalByteSize() const {
 }
 
 Status FragmentStore::SaveTo(KvStore* kv) const {
+  // Sorted view order: the KvStore orders keys anyway, but inserting
+  // deterministically keeps the save path reproducible across platforms.
+  std::vector<int32_t> ids;
+  ids.reserve(views_.size());
   for (const auto& [view_id, fragments] : views_) {
+    (void)fragments;
+    ids.push_back(view_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const int32_t view_id : ids) {
+    const std::vector<Fragment>& fragments = views_.at(view_id);
     kv->DeletePrefix(ViewPrefix(view_id));
     for (size_t i = 0; i < fragments.size(); ++i) {
       kv->Put(FragmentKey(view_id, i), fragments[i].Serialize());

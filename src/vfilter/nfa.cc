@@ -12,8 +12,6 @@ PathNfa::PathNfa() {
 
 StateId PathNfa::NewState() {
   states_.emplace_back();
-  mark_.push_back(0);
-  accept_mark_.push_back(0);
   return static_cast<StateId>(states_.size() - 1);
 }
 
@@ -95,14 +93,16 @@ void PathNfa::RemoveView(int32_t view_id) {
 }
 
 void PathNfa::Read(const std::vector<int32_t>& tokens,
-                   std::vector<const AcceptEntry*>* hits) const {
+                   std::vector<const AcceptEntry*>* hits,
+                   NfaReadScratch* scratch) const {
   hits->clear();
-  current_.clear();
-  next_.clear();
-  if (mark_.size() < states_.size()) {
-    // States may have been installed wholesale by deserialization.
-    mark_.resize(states_.size(), 0);
-    accept_mark_.resize(states_.size(), 0);
+  scratch->current.clear();
+  scratch->next.clear();
+  if (scratch->mark.size() < states_.size()) {
+    // A fresh scratch, or states were added (possibly installed wholesale
+    // by deserialization) since this scratch was last used.
+    scratch->mark.resize(states_.size(), 0);
+    scratch->accept_mark.resize(states_.size(), 0);
   }
 
   // Once an accepting state is reached its self-loop absorbs every further
@@ -110,18 +110,19 @@ void PathNfa::Read(const std::vector<int32_t>& tokens,
   // immediately and keep the state in the working set only for its outgoing
   // trie edges. This keeps the per-token cost proportional to the genuinely
   // active states instead of every accept collected so far.
-  ++read_epoch_;
-  auto add = [this, hits](std::vector<StateId>* set, StateId id) {
+  ++scratch->read_epoch;
+  auto add = [this, hits, scratch](std::vector<StateId>* set, StateId id) {
     const State& s = states_[static_cast<size_t>(id)];
     if (s.is_accepting &&
-        accept_mark_[static_cast<size_t>(id)] != read_epoch_) {
-      accept_mark_[static_cast<size_t>(id)] = read_epoch_;
+        scratch->accept_mark[static_cast<size_t>(id)] !=
+            scratch->read_epoch) {
+      scratch->accept_mark[static_cast<size_t>(id)] = scratch->read_epoch;
       for (const AcceptEntry& e : s.accepts) {
         hits->push_back(&e);
       }
     }
-    if (mark_[static_cast<size_t>(id)] != epoch_) {
-      mark_[static_cast<size_t>(id)] = epoch_;
+    if (scratch->mark[static_cast<size_t>(id)] != scratch->epoch) {
+      scratch->mark[static_cast<size_t>(id)] = scratch->epoch;
       const bool has_outgoing = s.is_loop || !s.label_trans.empty() ||
                                 !s.star_trans.empty() ||
                                 !s.loop_states.empty() ||
@@ -131,38 +132,38 @@ void PathNfa::Read(const std::vector<int32_t>& tokens,
       }
       // Epsilon closure: entering a state also arms its '//' loop states.
       for (StateId loop : s.loop_states) {
-        if (mark_[static_cast<size_t>(loop)] != epoch_) {
-          mark_[static_cast<size_t>(loop)] = epoch_;
+        if (scratch->mark[static_cast<size_t>(loop)] != scratch->epoch) {
+          scratch->mark[static_cast<size_t>(loop)] = scratch->epoch;
           set->push_back(loop);
         }
       }
     }
   };
 
-  ++epoch_;
-  add(&current_, start());
+  ++scratch->epoch;
+  add(&scratch->current, start());
 
   for (int32_t token : tokens) {
-    ++epoch_;
-    next_.clear();
-    for (StateId id : current_) {
+    ++scratch->epoch;
+    scratch->next.clear();
+    for (StateId id : scratch->current) {
       const State& s = states_[static_cast<size_t>(id)];
       // '//' waiting states self-loop on any token, including '#'.
       // (Accepting states already recorded their hits on entry; they stay
       // active only through their outgoing edges below.)
       if (s.is_loop) {
-        add(&next_, id);
+        add(&scratch->next, id);
       }
       if (IsPredToken(token)) {
         // Pred tokens are invisible to states without the matching required
         // predicate (a view without the predicate is weaker and still
         // contains the query)...
-        add(&next_, id);
+        add(&scratch->next, id);
         // ...and advance the views that require exactly this predicate.
         auto it = s.pred_trans.find(token);
         if (it != s.pred_trans.end()) {
           for (StateId t : it->second) {
-            add(&next_, t);
+            add(&scratch->next, t);
           }
         }
         continue;
@@ -174,18 +175,18 @@ void PathNfa::Read(const std::vector<int32_t>& tokens,
         auto it = s.label_trans.find(token);
         if (it != s.label_trans.end()) {
           for (StateId t : it->second) {
-            add(&next_, t);
+            add(&scratch->next, t);
           }
         }
       }
       // A '*' edge of a view consumes any label token and the '*' token; an
       // exact-label edge never consumes '*' (view /l does not contain /*).
       for (StateId t : s.star_trans) {
-        add(&next_, t);
+        add(&scratch->next, t);
       }
     }
-    current_.swap(next_);
-    if (current_.empty()) {
+    scratch->current.swap(scratch->next);
+    if (scratch->current.empty()) {
       return;
     }
   }

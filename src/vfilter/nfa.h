@@ -60,6 +60,22 @@ struct AcceptEntry {
   int32_t length = 0;    // number of labels of the view path (for LIST(P))
 };
 
+// Per-call scratch for PathNfa::Read. The automaton itself is immutable
+// during reads; all runtime state (active-state frontier, visited epochs)
+// lives here so that any number of threads can Read the same NFA
+// concurrently, each with its own scratch. Reusing one scratch across calls
+// keeps the hot path allocation-free (the epoch counters avoid clearing the
+// visited bitmaps between calls).
+struct NfaReadScratch {
+  std::vector<uint32_t> mark;
+  uint32_t epoch = 0;
+  // Guards against recording one accepting state twice within a Read.
+  std::vector<uint32_t> accept_mark;
+  uint32_t read_epoch = 0;
+  std::vector<StateId> current;
+  std::vector<StateId> next;
+};
+
 class PathNfa {
  public:
   PathNfa();
@@ -81,10 +97,19 @@ class PathNfa {
   void RemoveView(int32_t view_id);
 
   // Runs the token string and returns the accept entries of every accepting
-  // state reachable after consuming all tokens. Not thread-safe (reuses
-  // scratch buffers to keep the hot path allocation-free).
+  // state reachable after consuming all tokens. Thread-safe: the automaton
+  // is read-only and all runtime state lives in `scratch` (one per thread;
+  // reuse across calls to stay allocation-free).
   void Read(const std::vector<int32_t>& tokens,
-            std::vector<const AcceptEntry*>* hits) const;
+            std::vector<const AcceptEntry*>* hits,
+            NfaReadScratch* scratch) const;
+
+  // Convenience overload with call-local scratch (tests, one-off reads).
+  void Read(const std::vector<int32_t>& tokens,
+            std::vector<const AcceptEntry*>* hits) const {
+    NfaReadScratch scratch;
+    Read(tokens, hits, &scratch);
+  }
 
   // --- statistics ----------------------------------------------------------
 
@@ -113,15 +138,6 @@ class PathNfa {
   StateId Step(StateId from, const PathStep& step, bool share);
 
   std::vector<State> states_;
-
-  // Scratch for Read(): visited epochs avoid clearing a bitmap per call.
-  mutable std::vector<uint32_t> mark_;
-  mutable uint32_t epoch_ = 0;
-  // Guards against recording one accepting state twice within a Read.
-  mutable std::vector<uint32_t> accept_mark_;
-  mutable uint32_t read_epoch_ = 0;
-  mutable std::vector<StateId> current_;
-  mutable std::vector<StateId> next_;
 };
 
 }  // namespace xvr

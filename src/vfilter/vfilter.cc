@@ -92,7 +92,8 @@ int32_t VFilter::NumPathsOf(int32_t view_id) const {
   return it == views_.end() ? -1 : it->second;
 }
 
-FilterResult VFilter::Filter(const TreePattern& query) const {
+FilterResult VFilter::Filter(const TreePattern& query,
+                             NfaReadScratch* scratch) const {
   FilterResult result;
   result.decomposition = Decompose(query);
   const size_t num_query_paths = result.decomposition.paths.size();
@@ -131,7 +132,7 @@ FilterResult VFilter::Filter(const TreePattern& query) const {
     // both reads hit it.
     std::unordered_set<int64_t> pairs_hit;
     for (const std::vector<int32_t>& tokens : reads) {
-      nfa_.Read(tokens, &hits);
+      nfa_.Read(tokens, &hits, scratch);
       for (const AcceptEntry* e : hits) {
         auto [it, inserted] = list_maps[i].emplace(e->view_id, e->length);
         if (!inserted && e->length > it->second) {

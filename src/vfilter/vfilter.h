@@ -71,8 +71,16 @@ class VFilter {
   // retained).
   void RemoveView(int32_t view_id);
 
-  // Runs VIEWFILTERING(Q, V, A).
-  FilterResult Filter(const TreePattern& query) const;
+  // Runs VIEWFILTERING(Q, V, A). Thread-safe: the index is read-only here
+  // and all NFA runtime state lives in `scratch` (one per thread).
+  FilterResult Filter(const TreePattern& query,
+                      NfaReadScratch* scratch) const;
+
+  // Convenience overload with call-local scratch.
+  FilterResult Filter(const TreePattern& query) const {
+    NfaReadScratch scratch;
+    return Filter(query, &scratch);
+  }
 
   // --- statistics -----------------------------------------------------------
 

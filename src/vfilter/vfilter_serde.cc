@@ -1,9 +1,24 @@
 #include "vfilter/vfilter_serde.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 namespace xvr {
 namespace {
+
+// Hash-map entries sorted by key, so the image bytes are identical across
+// platforms and standard libraries (hash iteration order is not).
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedEntries(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
 
 constexpr uint32_t kMagic = 0x56464C54;  // "VFLT"
 constexpr uint32_t kVersion = 3;
@@ -77,14 +92,15 @@ std::string SerializeVFilter(const VFilter& filter) {
          &out);
   // Pred dictionary (attribute extension).
   PutU32(static_cast<uint32_t>(filter.pred_ids().size()), &out);
-  for (const auto& [key, id] : filter.pred_ids()) {
+  for (const auto& [key, id] : SortedEntries(filter.pred_ids())) {
     PutU32(static_cast<uint32_t>(key.size()), &out);
     out.append(key);
     PutI32(id, &out);
   }
   // View registry.
   PutU32(static_cast<uint32_t>(filter.view_path_counts().size()), &out);
-  for (const auto& [view_id, num_paths] : filter.view_path_counts()) {
+  for (const auto& [view_id, num_paths] :
+       SortedEntries(filter.view_path_counts())) {
     PutI32(view_id, &out);
     PutI32(num_paths, &out);
   }
@@ -96,12 +112,12 @@ std::string SerializeVFilter(const VFilter& filter) {
     PutIdList(s.star_trans, &out);
     PutIdList(s.loop_states, &out);
     PutU32(static_cast<uint32_t>(s.label_trans.size()), &out);
-    for (const auto& [label, targets] : s.label_trans) {
+    for (const auto& [label, targets] : SortedEntries(s.label_trans)) {
       PutI32(label, &out);
       PutIdList(targets, &out);
     }
     PutU32(static_cast<uint32_t>(s.pred_trans.size()), &out);
-    for (const auto& [token, targets] : s.pred_trans) {
+    for (const auto& [token, targets] : SortedEntries(s.pred_trans)) {
       PutI32(token, &out);
       PutIdList(targets, &out);
     }

@@ -13,7 +13,11 @@ XmlTree GenerateRandomDoc(const RandomDocOptions& options) {
   std::vector<LabelId> labels;
   labels.reserve(static_cast<size_t>(options.alphabet_size));
   for (int i = 0; i < options.alphabet_size; ++i) {
-    labels.push_back(tree.labels().Intern("l" + std::to_string(i)));
+    // Built via += rather than `"l" + std::to_string(i)`: the rvalue
+    // operator+ trips GCC 12's -Wrestrict false positive (PR 105329).
+    std::string name("l");
+    name += std::to_string(i);
+    labels.push_back(tree.labels().Intern(name));
   }
   const auto random_label = [&]() {
     return labels[rng.NextBounded(labels.size())];
@@ -43,7 +47,9 @@ XmlTree GenerateRandomDoc(const RandomDocOptions& options) {
       tree.AddAttribute(child, "a", std::to_string(rng.NextBounded(3)));
     }
     if (rng.NextBool(options.text_probability)) {
-      tree.SetText(child, "t" + std::to_string(rng.NextBounded(5)));
+      std::string text("t");
+      text += std::to_string(rng.NextBounded(5));
+      tree.SetText(child, text);
     }
     open.push_back(Open{child, 0});
   }

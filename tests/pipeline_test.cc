@@ -1,0 +1,316 @@
+// Tests for the staged query pipeline: plan caching and invalidation,
+// concurrent BatchAnswer equivalence with sequential AnswerQuery across all
+// strategies, and full resource release on RemoveView.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "core/planner.h"
+#include "pattern/xpath_parser.h"
+#include "workload/workloads.h"
+#include "workload/xmark.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+XmlTree SmallDoc() {
+  auto r = ParseXml(
+      "<r>"
+      "<s><p/><f/></s>"
+      "<s><p/></s>"
+      "<s><f/></s>"
+      "</r>");
+  return std::move(r).value();
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : engine_(SmallDoc()) {}
+  TreePattern Parse(const std::string& xpath) {
+    auto r = engine_.Parse(xpath);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(PipelineTest, RepeatedQueryHitsPlanCache) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+
+  auto first = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->stats.plan_cache_hit);
+
+  auto second = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->stats.plan_cache_hit);
+  EXPECT_EQ(first->codes, second->codes);
+
+  ASSERT_NE(engine_.plan_cache(), nullptr);
+  const PlanCache::Stats stats = engine_.plan_cache()->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(PipelineTest, StructurallyEqualQueriesShareAPlan) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  // Same pattern parsed twice: distinct objects, same canonical key.
+  const TreePattern a = Parse("/r/s[f]/p");
+  const TreePattern b = Parse("/r/s[f]/p");
+  ASSERT_TRUE(
+      engine_.AnswerQuery(a, AnswerStrategy::kHeuristicFiltered).ok());
+  auto answer = engine_.AnswerQuery(b, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->stats.plan_cache_hit);
+}
+
+TEST_F(PipelineTest, StrategiesDoNotSharePlans) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  ASSERT_TRUE(
+      engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered).ok());
+  auto mv = engine_.AnswerQuery(q, AnswerStrategy::kMinimumFiltered);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_FALSE(mv->stats.plan_cache_hit);
+}
+
+TEST_F(PipelineTest, AddViewInvalidatesCachedPlans) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  auto before = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(before.ok());
+  const uint64_t version = engine_.catalog_version();
+
+  // A new view that also answers the branch: the cached plan must not be
+  // served after the catalog changes.
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s[f]/p")).ok());
+  EXPECT_GT(engine_.catalog_version(), version);
+
+  auto after = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->stats.plan_cache_hit);
+  EXPECT_EQ(before->codes, after->codes);
+  EXPECT_GE(engine_.plan_cache()->stats().stale_drops, 1u);
+}
+
+TEST_F(PipelineTest, RemoveViewInvalidatesCachedPlans) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  auto extra = engine_.AddView(Parse("/r/s[f]/p"));
+  ASSERT_TRUE(extra.ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  ASSERT_TRUE(
+      engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered).ok());
+
+  engine_.RemoveView(*extra);  // may be the selected view of the plan
+
+  auto after = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->stats.plan_cache_hit);
+  auto base = engine_.AnswerQuery(q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(after->codes, base->codes);
+}
+
+TEST_F(PipelineTest, PlanCacheCapacityZeroDisablesCaching) {
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  Engine engine(SmallDoc(), options);
+  auto q = engine.Parse("/r/s/p");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(engine.plan_cache(), nullptr);
+  for (int i = 0; i < 2; ++i) {
+    auto a = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(a.ok());
+    EXPECT_FALSE(a->stats.plan_cache_hit);
+  }
+}
+
+TEST_F(PipelineTest, LruEvictsLeastRecentlyUsedPlan) {
+  PlanCache cache(/*capacity=*/2);
+  auto plan = [](uint64_t version) {
+    auto p = std::make_shared<QueryPlan>();
+    p->catalog_version = version;
+    return std::shared_ptr<const QueryPlan>(std::move(p));
+  };
+  cache.Insert("a", plan(0));
+  cache.Insert("b", plan(0));
+  ASSERT_NE(cache.Lookup("a", 0), nullptr);  // refresh "a"
+  cache.Insert("c", plan(0));                // evicts "b"
+  EXPECT_NE(cache.Lookup("a", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 0), nullptr);
+  EXPECT_NE(cache.Lookup("c", 0), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Version mismatch drops the entry.
+  EXPECT_EQ(cache.Lookup("c", 1), nullptr);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- BatchAnswer ------------------------------------------------------------
+
+class BatchTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumQueries = 64;
+
+  BatchTest() {
+    XmarkOptions doc;
+    doc.scale = 0.2;
+    doc.seed = 42;
+    setup_ = BuildPaperSetup(doc, /*num_views=*/40, /*seed=*/20080407);
+    // A batch with repeats, so the plan cache sees both misses and hits.
+    for (size_t i = 0; i < kNumQueries; ++i) {
+      batch_.push_back(setup_.queries[i % setup_.queries.size()]);
+    }
+  }
+
+  PaperSetup setup_;
+  std::vector<TreePattern> batch_;
+};
+
+TEST_F(BatchTest, ConcurrentBatchMatchesSequentialForAllStrategies) {
+  for (AnswerStrategy strategy : kAllAnswerStrategies) {
+    // Sequential reference (fresh cache effects do not change answers).
+    std::vector<std::vector<DeweyCode>> expected;
+    for (const TreePattern& q : batch_) {
+      auto answer = setup_.engine->AnswerQuery(q, strategy);
+      ASSERT_TRUE(answer.ok())
+          << AnswerStrategyName(strategy) << ": " << answer.status();
+      expected.push_back(answer->codes);
+    }
+    auto results = setup_.engine->BatchAnswer(batch_, strategy,
+                                              /*num_threads=*/4);
+    ASSERT_EQ(results.size(), batch_.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << AnswerStrategyName(strategy) << " query " << i << ": "
+          << results[i].status();
+      EXPECT_EQ(results[i]->codes, expected[i])
+          << AnswerStrategyName(strategy) << " query " << i;
+    }
+  }
+}
+
+TEST_F(BatchTest, BatchSeesPlanCacheHitsOnRepeats) {
+  ASSERT_NE(setup_.engine->plan_cache(), nullptr);
+  setup_.engine->plan_cache()->Clear();
+  setup_.engine->plan_cache()->ResetStats();
+  auto results = setup_.engine->BatchAnswer(
+      batch_, AnswerStrategy::kHeuristicFiltered, /*num_threads=*/4);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  const PlanCache::Stats stats = setup_.engine->plan_cache()->stats();
+  // Each distinct query plans at most a few times (racing threads may plan
+  // the same query concurrently before the first insert lands); repeats hit.
+  EXPECT_GE(stats.hits, kNumQueries / 2);
+  EXPECT_GE(stats.misses, setup_.queries.size());
+}
+
+TEST_F(BatchTest, SequentialBatchEqualsThreadedBatch) {
+  auto seq = setup_.engine->BatchAnswer(
+      batch_, AnswerStrategy::kHeuristicFiltered, /*num_threads=*/1);
+  auto par = setup_.engine->BatchAnswer(
+      batch_, AnswerStrategy::kHeuristicFiltered, /*num_threads=*/8);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_TRUE(seq[i].ok());
+    ASSERT_TRUE(par[i].ok());
+    EXPECT_EQ(seq[i]->codes, par[i]->codes) << "query " << i;
+  }
+}
+
+TEST_F(BatchTest, EmptyBatch) {
+  auto results = setup_.engine->BatchAnswer(
+      {}, AnswerStrategy::kHeuristicFiltered, /*num_threads=*/4);
+  EXPECT_TRUE(results.empty());
+}
+
+// --- RemoveView resource release --------------------------------------------
+
+TEST(RemoveViewRegression, HundredViewsFullyReleased) {
+  XmarkOptions doc_options;
+  doc_options.scale = 0.2;
+  doc_options.seed = 42;
+  Engine engine(GenerateXmark(doc_options));
+
+  // Two permanent views as the baseline.
+  auto keep1 = engine.Parse("/site/people/person/name");
+  auto keep2 = engine.Parse("//person[profile/interest]/name");
+  ASSERT_TRUE(keep1.ok());
+  ASSERT_TRUE(keep2.ok());
+  ASSERT_TRUE(engine.AddView(std::move(keep1).value()).ok());
+  ASSERT_TRUE(engine.AddView(std::move(keep2).value()).ok());
+
+  const size_t base_views = engine.num_views();
+  const size_t base_bytes = engine.fragments().TotalByteSize();
+  const size_t base_store_views = engine.fragments().num_views();
+  const size_t base_filter_views = engine.vfilter().num_views();
+  const size_t base_accepts = engine.vfilter().nfa().num_accept_entries();
+
+  // Add 100 views (some materialized, some pattern-only, some codes-only)
+  // and remove them all again.
+  const std::vector<std::string> shapes = {
+      "/site/people/person/name",
+      "//person/profile/interest",
+      "/site/open_auctions/open_auction/bidder",
+      "//closed_auction/price",
+      "/site/regions//item/name",
+  };
+  std::vector<int32_t> added;
+  for (int i = 0; i < 100; ++i) {
+    auto pattern = engine.Parse(shapes[static_cast<size_t>(i) % shapes.size()]);
+    ASSERT_TRUE(pattern.ok());
+    if (i % 3 == 0) {
+      added.push_back(engine.AddViewPattern(std::move(pattern).value()));
+    } else if (i % 3 == 1) {
+      auto id = engine.AddView(std::move(pattern).value());
+      ASSERT_TRUE(id.ok()) << id.status();
+      added.push_back(*id);
+    } else {
+      auto id = engine.AddViewCodesOnly(std::move(pattern).value());
+      ASSERT_TRUE(id.ok()) << id.status();
+      added.push_back(*id);
+    }
+  }
+  EXPECT_EQ(engine.num_views(), base_views + 100);
+  EXPECT_GT(engine.fragments().TotalByteSize(), base_bytes);
+  EXPECT_GT(engine.vfilter().nfa().num_accept_entries(), base_accepts);
+
+  for (int32_t id : added) {
+    engine.RemoveView(id);
+  }
+
+  EXPECT_EQ(engine.num_views(), base_views);
+  EXPECT_EQ(engine.fragments().num_views(), base_store_views);
+  EXPECT_EQ(engine.fragments().TotalByteSize(), base_bytes);
+  EXPECT_EQ(engine.vfilter().num_views(), base_filter_views);
+  EXPECT_EQ(engine.vfilter().nfa().num_accept_entries(), base_accepts);
+  for (int32_t id : added) {
+    EXPECT_EQ(engine.view(id), nullptr);
+    EXPECT_FALSE(engine.fragments().HasView(id));
+    EXPECT_FALSE(engine.IsViewPartial(id));
+  }
+
+  // The engine still answers correctly from the remaining views.
+  auto q = engine.Parse("/site/people/person[profile/interest]/name");
+  ASSERT_TRUE(q.ok());
+  auto hv = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(hv.ok()) << hv.status();
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(hv->codes, bn->codes);
+}
+
+}  // namespace
+}  // namespace xvr
