@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# Full verification pass: build, unit/property tests, sanitizer run, and the
-# benchmark suite (one binary per paper table/figure).
+# Full verification pass: lints, build, unit/property tests, sanitizer run,
+# and the benchmark suite (one binary per paper table/figure).
 #
-# Usage: scripts/check.sh [--with-asan] [--with-bench]
+# Usage: scripts/check.sh [--with-asan] [--with-bench] [--with-tidy]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_ASAN=0
 WITH_BENCH=0
+WITH_TIDY=0
 for arg in "$@"; do
   case "$arg" in
     --with-asan) WITH_ASAN=1 ;;
     --with-bench) WITH_BENCH=1 ;;
+    --with-tidy) WITH_TIDY=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+echo "== lints =="
+python3 scripts/lint.py
+if command -v clang-format >/dev/null 2>&1; then
+  clang-format --dry-run -Werror \
+    $(find src tests bench examples -name '*.cc' -o -name '*.h')
+else
+  echo "clang-format not installed; skipping format check (CI runs it)"
+fi
 
 echo "== configure + build =="
 cmake -B build -G Ninja
@@ -23,6 +34,12 @@ cmake --build build
 
 echo "== tests =="
 ctest --test-dir build --output-on-failure
+
+if [[ "$WITH_TIDY" == 1 ]]; then
+  echo "== clang-tidy =="
+  cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  run-clang-tidy -p build -quiet "src/.*\.cc$"
+fi
 
 if [[ "$WITH_ASAN" == 1 ]]; then
   echo "== sanitizer build + tests =="

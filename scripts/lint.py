@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""House lint for xvr. Zero third-party dependencies; runs on plain python3.
+
+Rules (each suppressible per line with a `lint:<rule>-ok` comment):
+
+  exceptions    No `throw` / `try` / `catch` outside the XML parser boundary
+                (src/xml/xml_parser.cc). The library reports failures through
+                xvr::Status / xvr::Result<T>; an exception anywhere else
+                either aborts (we build without handlers) or silently skips
+                the error plumbing.
+
+  discard       No `(void)call(...)` casts. Status and Result<T> are
+                [[nodiscard]], so the compiler already rejects a plainly
+                ignored fallible call; the void-cast is the one escape hatch,
+                and this rule closes it. Together they guarantee there is no
+                XVR_RETURN_IF_ERROR-less Status call anywhere in the tree.
+                (`(void)name;` for an unused binding is fine — only casts of
+                call expressions are flagged.) Suppress with lint:discard-ok.
+
+  raw-mutex     No std::mutex / std::lock_guard / std::unique_lock /
+                std::scoped_lock / std::call_once outside common/mutex.h.
+                Locking must go through xvr::Mutex / xvr::MutexLock so the
+                Clang thread-safety analysis sees every acquisition.
+
+  ordered-serde In functions whose name contains Save or Serialize (and
+                everywhere in *serde* files), no range-for over a container
+                declared as std::unordered_map/std::unordered_set or over an
+                accessor returning one. Unordered iteration order leaks into
+                persisted images and makes them nondeterministic. Suppress a
+                deliberately order-insensitive loop with lint:ordered-ok.
+
+Usage: scripts/lint.py [root]   (root defaults to the repo checkout)
+Exit status 0 when clean, 1 with one "file:line: [rule] message" per finding.
+"""
+
+import pathlib
+import re
+import sys
+
+EXCEPTION_ALLOWLIST = {"src/xml/xml_parser.cc"}
+RAW_MUTEX_ALLOWLIST = {"src/common/mutex.h"}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|call_once|once_flag)\b")
+THROW_TRY_RE = re.compile(r"(^|[^\w])(throw\b|try\s*\{|catch\s*\()")
+VOID_DISCARD_RE = re.compile(r"\(void\)\s*[\w:\.\->]*\w\s*\(")
+SUPPRESS_RE = re.compile(r"lint:([a-z-]+)-ok")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>[&\s]+(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*([\w:\.\->]+(?:\(\))?)\s*\)")
+FUNC_DEF_RE = re.compile(r"^[\w:<>,&*\s\[\]]*?\b([\w~]+)\s*\([^;]*$|"
+                         r"^[\w:<>,&*\s\[\]]*?\b([\w~]+)\s*\(.*\)\s*(?:const\s*)?\{")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines and
+    column positions (so line/suppression lookups stay aligned)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_unordered_names(files):
+    """Names of variables/members declared with an unordered container type,
+    and of accessors returning one (e.g. `pred_ids()`)."""
+    names = set()
+    for path, code in files:
+        for match in UNORDERED_DECL_RE.finditer(code):
+            names.add(match.group(1))
+        for match in re.finditer(
+                r"std::unordered_(?:map|set)\s*<[^;{}]*?>\s*&?\s*(\w+)\s*\(\s*\)",
+                code):
+            names.add(match.group(1))
+    names.discard("if")
+    names.discard("for")
+    return names
+
+
+def base_identifier(expr: str) -> str:
+    """`store_.fragments_` -> fragments_, `filter.pred_ids()` -> pred_ids."""
+    expr = expr.rstrip("()")
+    for sep in (".", "->", "::"):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr
+
+
+def current_function_at(code_lines, lineno):
+    """Best-effort name of the function containing `lineno` (1-based)."""
+    for i in range(lineno - 1, -1, -1):
+        line = code_lines[i]
+        match = re.match(r"^[\w:<>,&*~\s\[\]]+?\b(\w+)\s*\(", line)
+        if match and not line.lstrip().startswith(("if", "for", "while",
+                                                   "switch", "return")):
+            return match.group(1)
+    return ""
+
+
+def lint_file(rel, raw, code, unordered_names, findings):
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+
+    def suppressed(lineno, rule):
+        line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        return f"lint:{rule}-ok" in line
+
+    for lineno, line in enumerate(code_lines, 1):
+        if rel not in EXCEPTION_ALLOWLIST and THROW_TRY_RE.search(line):
+            if not suppressed(lineno, "exceptions"):
+                findings.append((rel, lineno, "exceptions",
+                                 "throw/try/catch outside the XML parser "
+                                 "boundary; use xvr::Status"))
+        if rel not in RAW_MUTEX_ALLOWLIST and RAW_MUTEX_RE.search(line):
+            if not suppressed(lineno, "raw-mutex"):
+                findings.append((rel, lineno, "raw-mutex",
+                                 "use xvr::Mutex / xvr::MutexLock "
+                                 "(common/mutex.h) so the thread-safety "
+                                 "analysis sees the lock"))
+        if VOID_DISCARD_RE.search(line):
+            if not suppressed(lineno, "discard"):
+                findings.append((rel, lineno, "discard",
+                                 "(void)-discarded call; handle the result "
+                                 "or XVR_RETURN_IF_ERROR it"))
+
+    in_serde_file = "serde" in pathlib.PurePosixPath(rel).name
+    for lineno, line in enumerate(code_lines, 1):
+        match = RANGE_FOR_RE.search(line)
+        if not match:
+            continue
+        if base_identifier(match.group(1)) not in unordered_names:
+            continue
+        func = current_function_at(code_lines, lineno)
+        if in_serde_file or "Save" in func or "Serialize" in func:
+            if not suppressed(lineno, "ordered"):
+                findings.append((rel, lineno, "ordered-serde",
+                                 "iterating an unordered container in a "
+                                 "serialization path makes output "
+                                 "nondeterministic; sort keys first"))
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                        else pathlib.Path(__file__).resolve().parent.parent)
+    files = []
+    for subdir in ("src", "tests", "bench", "examples"):
+        for path in sorted((root / subdir).rglob("*")):
+            if path.suffix in (".cc", ".h") and path.is_file():
+                raw = path.read_text(encoding="utf-8")
+                files.append((path.relative_to(root).as_posix(), raw,
+                              strip_comments_and_strings(raw)))
+
+    unordered_names = collect_unordered_names(
+        [(rel, code) for rel, _, code in files if rel.startswith("src/")])
+
+    findings = []
+    for rel, raw, code in files:
+        lint_file(rel, raw, code, unordered_names, findings)
+
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

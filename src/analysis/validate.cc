@@ -1,0 +1,416 @@
+#include "analysis/validate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pattern/normalize.h"
+#include "rewrite/prefix_join.h"
+#include "vfilter/nfa.h"
+#include "xml/dewey.h"
+#include "xml/label_dict.h"
+
+namespace xvr {
+namespace {
+
+Status Violation(const std::string& what) { return Status::Internal(what); }
+
+bool ValidLabel(LabelId label) {
+  return label >= 0 || label == kWildcardLabel;
+}
+
+bool ValidAxis(Axis axis) {
+  return axis == Axis::kChild || axis == Axis::kDescendant;
+}
+
+// Root-to-node labels via the parent chain.
+std::vector<LabelId> LabelPathOf(const XmlTree& doc, NodeId id) {
+  std::vector<LabelId> path;
+  for (NodeId cur = id; cur != kNullNode; cur = doc.node(cur).parent) {
+    path.push_back(doc.label(cur));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Status ValidateFragmentTree(int32_t view_id, size_t seq, const Fragment& f,
+                            const Fst& fst) {
+  const std::string where =
+      "view " + std::to_string(view_id) + " fragment " + std::to_string(seq);
+  if (f.size() == 0) {
+    return Violation(where + " is empty");
+  }
+  if (f.node(0).parent != -1) {
+    return Violation(where + ": root has a parent");
+  }
+  if (f.root_code().empty()) {
+    return Violation(where + ": empty root code");
+  }
+  if (f.AbsoluteCode(0) != f.root_code()) {
+    return Violation(where + ": root component disagrees with root code");
+  }
+  const int32_t n = static_cast<int32_t>(f.size());
+  for (int32_t j = 0; j < n; ++j) {
+    const FragmentNode& node = f.node(j);
+    if (!ValidLabel(node.label) || node.label == kWildcardLabel) {
+      return Violation(where + ": node " + std::to_string(j) +
+                       " has invalid label");
+    }
+    if (j > 0 && (node.parent < 0 || node.parent >= n)) {
+      return Violation(where + ": node " + std::to_string(j) +
+                       " has out-of-range parent");
+    }
+    for (const int32_t c : node.children) {
+      if (c <= 0 || c >= n) {
+        return Violation(where + ": node " + std::to_string(j) +
+                         " has out-of-range child " + std::to_string(c));
+      }
+      if (f.node(c).parent != j) {
+        return Violation(where + ": child link " + std::to_string(j) + "->" +
+                         std::to_string(c) + " not mirrored by parent link");
+      }
+    }
+    if (j > 0) {
+      const std::vector<int32_t>& siblings = f.node(node.parent).children;
+      if (std::find(siblings.begin(), siblings.end(), j) == siblings.end()) {
+        return Violation(where + ": node " + std::to_string(j) +
+                         " missing from its parent's child list");
+      }
+    }
+    // Every node code must be FST-decodable and decode to the node's label
+    // (the rewriter verifies encodings exactly this way, Example 5.1).
+    const DeweyCode code = f.AbsoluteCode(j);
+    std::vector<LabelId> decoded;
+    if (!fst.Decode(code.components(), &decoded)) {
+      return Violation(where + ": code " + code.ToString() +
+                       " of node " + std::to_string(j) + " is not decodable");
+    }
+    if (decoded.empty() || decoded.back() != node.label) {
+      return Violation(where + ": code " + code.ToString() + " of node " +
+                       std::to_string(j) + " decodes to a different label");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateDocument(const XmlTree& doc) {
+  if (doc.size() == 0) {
+    return Status::Ok();
+  }
+  if (!doc.has_dewey()) {
+    return Violation("document has no extended Dewey codes");
+  }
+  if (doc.fst() == nullptr) {
+    return Violation("document has no FST");
+  }
+  const Fst& fst = *doc.fst();
+  const NodeId n = static_cast<NodeId>(doc.size());
+  for (NodeId id = 0; id < n; ++id) {
+    const DeweyCode& code = doc.dewey(id);
+    const std::string where = "node " + std::to_string(id) + " (code " +
+                              code.ToString() + ")";
+    if (static_cast<int>(code.depth()) != doc.Depth(id) + 1) {
+      return Violation(where + ": code depth disagrees with tree depth");
+    }
+    const NodeId parent = doc.node(id).parent;
+    if (parent != kNullNode) {
+      const DeweyCode& parent_code = doc.dewey(parent);
+      if (parent_code.depth() + 1 != code.depth() ||
+          !parent_code.IsPrefixOf(code)) {
+        return Violation(where + ": code does not extend parent code " +
+                         parent_code.ToString());
+      }
+    }
+    // FST decodability (§II): the code alone must recover the label path.
+    std::vector<LabelId> decoded;
+    if (!fst.Decode(code.components(), &decoded)) {
+      return Violation(where + ": code is not FST-decodable");
+    }
+    if (decoded != LabelPathOf(doc, id)) {
+      return Violation(where + ": code decodes to the wrong label path");
+    }
+    // Extended-Dewey document order: sibling codes strictly increase.
+    const std::vector<NodeId> children = doc.Children(id);
+    for (size_t i = 1; i < children.size(); ++i) {
+      if (!(doc.dewey(children[i - 1]) < doc.dewey(children[i]))) {
+        return Violation("children of node " + std::to_string(id) +
+                         " are not in increasing Dewey order at child " +
+                         std::to_string(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateTreePattern(const TreePattern& pattern,
+                           bool require_normalized) {
+  if (pattern.empty()) {
+    return Violation("empty tree pattern");
+  }
+  const int32_t n = static_cast<int32_t>(pattern.size());
+  if (pattern.node(0).parent != -1) {
+    return Violation("pattern root has a parent");
+  }
+  if (pattern.answer() < 0 || pattern.answer() >= n) {
+    return Violation("answer node " + std::to_string(pattern.answer()) +
+                     " out of range");
+  }
+  for (int32_t i = 0; i < n; ++i) {
+    const PatternNode& node = pattern.node(i);
+    const std::string where = "pattern node " + std::to_string(i);
+    if (!ValidLabel(node.label)) {
+      return Violation(where + ": invalid label " +
+                       std::to_string(node.label));
+    }
+    if (!ValidAxis(node.axis)) {
+      return Violation(where + ": invalid axis");
+    }
+    if (i > 0 && (node.parent < 0 || node.parent >= n)) {
+      return Violation(where + ": out-of-range parent");
+    }
+    for (const int32_t c : node.children) {
+      if (c <= 0 || c >= n) {
+        return Violation(where + ": out-of-range child " + std::to_string(c));
+      }
+      if (pattern.node(c).parent != i) {
+        return Violation(where + ": child " + std::to_string(c) +
+                         " does not point back");
+      }
+    }
+    if (i > 0) {
+      const std::vector<int32_t>& siblings =
+          pattern.node(node.parent).children;
+      if (std::count(siblings.begin(), siblings.end(), i) != 1) {
+        return Violation(where +
+                         " is not listed exactly once by its parent");
+      }
+    }
+    if (node.value_pred.has_value() && node.value_pred->attribute.empty()) {
+      return Violation(where + ": value predicate without attribute");
+    }
+  }
+  // Parent/child mutuality plus a reachability count rules out cycles and
+  // disconnected nodes.
+  std::vector<int32_t> stack = {0};
+  int32_t reached = 0;
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  seen[0] = 1;
+  while (!stack.empty()) {
+    const int32_t cur = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const int32_t c : pattern.node(cur).children) {
+      if (seen[static_cast<size_t>(c)]) {
+        return Violation("pattern node " + std::to_string(c) +
+                         " reached twice (cycle or shared child)");
+      }
+      seen[static_cast<size_t>(c)] = 1;
+      stack.push_back(c);
+    }
+  }
+  if (reached != n) {
+    return Violation("pattern has unreachable nodes (" +
+                     std::to_string(reached) + " of " + std::to_string(n) +
+                     " reached)");
+  }
+  if (require_normalized) {
+    const Decomposition d = Decompose(pattern);
+    for (size_t i = 0; i < d.paths.size(); ++i) {
+      XVR_RETURN_IF_ERROR(
+          ValidatePathPattern(d.paths[i], /*require_normalized=*/true));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidatePathPattern(const PathPattern& path, bool require_normalized) {
+  if (path.empty()) {
+    return Violation("empty path pattern");
+  }
+  for (size_t i = 0; i < path.steps().size(); ++i) {
+    const PathStep& step = path.steps()[i];
+    const std::string where = "path step " + std::to_string(i);
+    if (!ValidLabel(step.label)) {
+      return Violation(where + ": invalid label " +
+                       std::to_string(step.label));
+    }
+    if (!ValidAxis(step.axis)) {
+      return Violation(where + ": invalid axis");
+    }
+    if (step.pred.has_value() && step.pred->attribute.empty()) {
+      return Violation(where + ": value predicate without attribute");
+    }
+  }
+  if (require_normalized && !IsNormalizedPath(path)) {
+    return Violation("path pattern is not in §III-C normal form");
+  }
+  return Status::Ok();
+}
+
+Status ValidateVFilter(const VFilter& filter) {
+  const PathNfa& nfa = filter.nfa();
+  const std::vector<PathNfa::State>& states = nfa.states();
+  if (states.empty()) {
+    return Violation("NFA has no start state");
+  }
+  const auto in_range = [&](StateId s) {
+    return s >= 0 && s < static_cast<StateId>(states.size());
+  };
+  // (view_id, path_id) -> how often it is registered; must be exactly once.
+  std::map<std::pair<int32_t, int32_t>, int> registrations;
+  for (size_t si = 0; si < states.size(); ++si) {
+    const PathNfa::State& s = states[si];
+    const std::string where = "NFA state " + std::to_string(si);
+    for (const auto& [label, targets] : s.label_trans) {
+      if (label < 0 && label != kWildcardLabel) {
+        return Violation(where + ": transition on invalid label " +
+                         std::to_string(label));
+      }
+      for (const StateId t : targets) {
+        if (!in_range(t)) {
+          return Violation(where + ": dangling label transition to state " +
+                           std::to_string(t));
+        }
+      }
+    }
+    for (const StateId t : s.star_trans) {
+      if (!in_range(t)) {
+        return Violation(where + ": dangling '*' transition to state " +
+                         std::to_string(t));
+      }
+    }
+    for (const StateId t : s.loop_states) {
+      if (!in_range(t)) {
+        return Violation(where + ": dangling '//' loop edge to state " +
+                         std::to_string(t));
+      }
+      if (!states[static_cast<size_t>(t)].is_loop) {
+        return Violation(where + ": loop edge to non-loop state " +
+                         std::to_string(t));
+      }
+    }
+    for (const auto& [token, targets] : s.pred_trans) {
+      if (!IsPredToken(token)) {
+        return Violation(where + ": pred transition on non-pred token " +
+                         std::to_string(token));
+      }
+      for (const StateId t : targets) {
+        if (!in_range(t)) {
+          return Violation(where + ": dangling pred transition to state " +
+                           std::to_string(t));
+        }
+      }
+    }
+    if (s.is_accepting != !s.accepts.empty()) {
+      return Violation(where + ": is_accepting disagrees with accept list");
+    }
+    for (const AcceptEntry& e : s.accepts) {
+      const auto it = filter.view_path_counts().find(e.view_id);
+      if (it == filter.view_path_counts().end()) {
+        return Violation(where + ": accept entry for unregistered view " +
+                         std::to_string(e.view_id));
+      }
+      if (e.path_id < 0 || e.path_id >= it->second) {
+        return Violation(where + ": accept path id " +
+                         std::to_string(e.path_id) + " outside |D(V)|=" +
+                         std::to_string(it->second) + " of view " +
+                         std::to_string(e.view_id));
+      }
+      if (e.length <= 0) {
+        return Violation(where + ": accept entry with non-positive length");
+      }
+      ++registrations[{e.view_id, e.path_id}];
+    }
+  }
+  // Every distinct path of every registered view is accepted — once for its
+  // raw form, plus once more when normalization changed it (both insertions
+  // share the path id; see VFilter::AddView).
+  for (const auto& [view_id, num_paths] : filter.view_path_counts()) {
+    if (num_paths <= 0) {
+      return Violation("view " + std::to_string(view_id) +
+                       " registered with non-positive |D(V)|");
+    }
+    for (int32_t path_id = 0; path_id < num_paths; ++path_id) {
+      const auto it = registrations.find({view_id, path_id});
+      const int count = it == registrations.end() ? 0 : it->second;
+      if (count < 1 || count > 2) {
+        return Violation("path " + std::to_string(path_id) + " of view " +
+                         std::to_string(view_id) + " has " +
+                         std::to_string(count) +
+                         " accept registrations (want 1 or 2)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateFragmentStore(const FragmentStore& store, const Fst& fst,
+                             const ViewLookup& lookup) {
+  for (const int32_t view_id : store.view_ids()) {
+    XVR_RETURN_IF_ERROR(ValidateViewFragments(store, view_id, fst, lookup));
+  }
+  return Status::Ok();
+}
+
+Status ValidateViewFragments(const FragmentStore& store, int32_t view_id,
+                             const Fst& fst, const ViewLookup& lookup) {
+  const std::vector<Fragment>* view_fragments = store.GetView(view_id);
+  if (view_fragments == nullptr) {
+    return Violation("view " + std::to_string(view_id) +
+                     " is not materialized");
+  }
+  {
+    const std::vector<Fragment>& fragments = *view_fragments;
+    // The view's root-to-answer path: every fragment root must sit at a
+    // document position reachable by it (§V join precondition).
+    PathPattern answer_path;
+    if (lookup != nullptr) {
+      if (const TreePattern* view = lookup(view_id)) {
+        answer_path = PathTo(*view, view->answer());
+      }
+    }
+    for (size_t seq = 0; seq < fragments.size(); ++seq) {
+      const Fragment& f = fragments[seq];
+      if (seq > 0 &&
+          !(fragments[seq - 1].root_code() < f.root_code())) {
+        return Violation("view " + std::to_string(view_id) +
+                         ": fragments out of Dewey order at index " +
+                         std::to_string(seq));
+      }
+      XVR_RETURN_IF_ERROR(ValidateFragmentTree(view_id, seq, f, fst));
+      if (!answer_path.empty()) {
+        std::vector<LabelId> decoded;
+        if (!fst.Decode(f.root_code().components(), &decoded)) {
+          return Violation("view " + std::to_string(view_id) + " fragment " +
+                           std::to_string(seq) +
+                           ": root code is not decodable");
+        }
+        if (!PathMatchesLabels(answer_path, decoded)) {
+          return Violation("view " + std::to_string(view_id) + " fragment " +
+                           std::to_string(seq) + " root " +
+                           f.root_code().ToString() +
+                           " does not lie on the view's answer path");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateAnswerCodes(const std::vector<DeweyCode>& codes) {
+  for (size_t i = 1; i < codes.size(); ++i) {
+    if (!(codes[i - 1] < codes[i])) {
+      return Violation("answer codes not strictly increasing at index " +
+                       std::to_string(i) + ": " + codes[i - 1].ToString() +
+                       " !< " + codes[i].ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xvr

@@ -1,0 +1,46 @@
+#ifndef XVR_COMMON_MUTEX_H_
+#define XVR_COMMON_MUTEX_H_
+
+// An annotated mutex for the thread-safety analysis.
+//
+// xvr::Mutex wraps std::mutex and carries the Clang `capability` attribute,
+// and xvr::MutexLock is the scoped guard the analysis understands. All
+// internal locking in the library goes through these two types; std::mutex
+// is invisible to -Wthread-safety on libstdc++ and must not be used
+// directly (enforced by scripts/lint.py).
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace xvr {
+
+class XVR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XVR_ACQUIRE() { mu_.lock(); }
+  void Unlock() XVR_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard; the analysis tracks the capability for the guard's scope.
+class XVR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) XVR_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() XVR_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_MUTEX_H_

@@ -31,7 +31,11 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeName(StatusCode code);
 
 // A success-or-error value. `Status::Ok()` is the success singleton.
-class Status {
+//
+// [[nodiscard]]: ignoring a returned Status silently swallows the error, so
+// every call site must consume it — assign it, test it, propagate it with
+// XVR_RETURN_IF_ERROR, or (rarely, with a comment) cast to void.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -60,7 +64,7 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -75,15 +79,16 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // A value-or-error. On success holds T; on failure holds a non-OK Status.
+// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return MakeThing();` and `return status;`
   // both work inside functions returning Result<T>.
   Result(T value) : value_(std::move(value)) {}
   Result(Status status) : status_(std::move(status)) {}
 
-  bool ok() const { return status_.ok(); }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   // Valid only when ok(); checked in debug builds via the optional.

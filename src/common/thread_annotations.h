@@ -1,0 +1,75 @@
+#ifndef XVR_COMMON_THREAD_ANNOTATIONS_H_
+#define XVR_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// The macros expand to Clang `capability` attributes so the compiler can
+// prove lock discipline at build time: which members a mutex guards
+// (XVR_GUARDED_BY), which locks a function needs (XVR_REQUIRES), and which
+// functions acquire/release them. On compilers without the attributes
+// (GCC) they expand to nothing, so annotated code builds everywhere; the
+// Clang CI job builds with -Wthread-safety -Werror and fails on any
+// missing or violated annotation.
+//
+// Use xvr::Mutex / xvr::MutexLock (common/mutex.h) instead of std::mutex —
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through it.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define XVR_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define XVR_TS_ATTRIBUTE__(x)  // no-op
+#endif
+
+// Declares a type to be a lockable capability ("mutex").
+#define XVR_CAPABILITY(x) XVR_TS_ATTRIBUTE__(capability(x))
+
+// Declares an RAII type that acquires a capability in its constructor and
+// releases it in its destructor.
+#define XVR_SCOPED_CAPABILITY XVR_TS_ATTRIBUTE__(scoped_lockable)
+
+// The member is protected by the given capability: it may only be read or
+// written while that capability is held.
+#define XVR_GUARDED_BY(x) XVR_TS_ATTRIBUTE__(guarded_by(x))
+
+// The pointed-to data (not the pointer itself) is protected.
+#define XVR_PT_GUARDED_BY(x) XVR_TS_ATTRIBUTE__(pt_guarded_by(x))
+
+// The function may only be called while holding the capability exclusively.
+#define XVR_REQUIRES(...) \
+  XVR_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+// Legacy spelling kept for symmetry with established codebases.
+#define XVR_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  XVR_TS_ATTRIBUTE__(exclusive_locks_required(__VA_ARGS__))
+
+// The function may only be called while holding the capability shared.
+#define XVR_REQUIRES_SHARED(...) \
+  XVR_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires/releases the capability (and must not hold it on
+// entry / holds it on entry, respectively).
+#define XVR_ACQUIRE(...) XVR_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define XVR_ACQUIRE_SHARED(...) \
+  XVR_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define XVR_RELEASE(...) XVR_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define XVR_RELEASE_SHARED(...) \
+  XVR_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+// The function must NOT be called while holding the capability (guards
+// against self-deadlock on non-reentrant mutexes).
+#define XVR_EXCLUDES(...) XVR_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// The function returns a reference to the given capability.
+#define XVR_RETURN_CAPABILITY(x) XVR_TS_ATTRIBUTE__(lock_returned(x))
+
+// Asserts (at runtime) that the calling thread holds the capability; the
+// analysis trusts the assertion from that point on.
+#define XVR_ASSERT_CAPABILITY(x) \
+  XVR_TS_ATTRIBUTE__(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment explaining why the function is safe.
+#define XVR_NO_THREAD_SAFETY_ANALYSIS \
+  XVR_TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // XVR_COMMON_THREAD_ANNOTATIONS_H_

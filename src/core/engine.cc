@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "analysis/validate.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "pattern/pattern_writer.h"
@@ -24,6 +25,7 @@ Engine::Engine(XmlTree doc, EngineOptions options)
   if (!doc_.has_dewey()) {
     doc_.AssignDeweyCodes();
   }
+  XVR_DEBUG_VALIDATE(ValidateDocument(doc_));
   if (!options_.materialize.evaluate) {
     // Use the indexed evaluator for materialization speed.
     options_.materialize.evaluate = [this](const TreePattern& pattern,
@@ -74,6 +76,9 @@ Result<int32_t> Engine::AddView(TreePattern view) {
   vfilter_.AddView(id, view);
   views_.emplace(id, std::move(view));
   BumpCatalogVersion();
+  XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
+  XVR_DEBUG_VALIDATE(
+      ValidateViewFragments(fragment_store_, id, *doc_.fst(), MakeLookup()));
   return id;
 }
 
@@ -91,6 +96,9 @@ Result<int32_t> Engine::AddViewCodesOnly(TreePattern view) {
   views_.emplace(id, std::move(view));
   partial_views_.insert(id);
   BumpCatalogVersion();
+  XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
+  XVR_DEBUG_VALIDATE(
+      ValidateViewFragments(fragment_store_, id, *doc_.fst(), MakeLookup()));
   return id;
 }
 
@@ -111,6 +119,7 @@ void Engine::RemoveView(int32_t id) {
     fragment_store_.RemoveView(id);
     partial_views_.erase(id);
     BumpCatalogVersion();
+    XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
   }
 }
 
@@ -250,6 +259,9 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
   // The catalog was rebuilt wholesale: retire any plan cached against the
   // pristine (empty) catalog the constructor produced.
   engine->BumpCatalogVersion();
+  XVR_DEBUG_VALIDATE(ValidateVFilter(engine->vfilter_));
+  XVR_DEBUG_VALIDATE(ValidateFragmentStore(
+      engine->fragment_store_, *engine->doc_.fst(), engine->MakeLookup()));
   return engine;
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/validate.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "rewrite/rewriter.h"
@@ -42,6 +43,9 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   XVR_ASSIGN_OR_RETURN(
       plan, deps_.planner->BuildPlan(query, strategy, version,
                                      &ctx->nfa_scratch));
+  // The plan's (possibly minimized) pattern is what selection indexed and
+  // what execution will embed — it must still be a well-formed pattern.
+  XVR_DEBUG_VALIDATE(ValidateTreePattern(plan.query));
   auto shared = std::make_shared<const QueryPlan>(std::move(plan));
   if (deps_.cache != nullptr) {
     deps_.cache->Insert(key, shared);
@@ -92,6 +96,8 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
   if (answer.ok()) {
     answer->stats.plan_cache_hit = cache_hit;
     answer->stats.total_micros = total.ElapsedMicros();
+    // Every strategy promises codes in strictly increasing document order.
+    XVR_DEBUG_VALIDATE(ValidateAnswerCodes(answer->codes));
   }
   return answer;
 }

@@ -132,7 +132,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
 
 std::shared_ptr<const QueryPlan> PlanCache::Lookup(
     const std::string& key, uint64_t catalog_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -157,7 +157,7 @@ void PlanCache::Insert(const std::string& key,
   if (capacity_ == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(plan);
@@ -174,23 +174,23 @@ void PlanCache::Insert(const std::string& key,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void PlanCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_ = Stats{};
 }
 

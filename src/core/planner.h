@@ -22,12 +22,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/evaluator.h"
 #include "pattern/tree_pattern.h"
 #include "rewrite/rewriter.h"
@@ -179,11 +180,12 @@ class PlanCache {
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const QueryPlan>>;
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  mutable Mutex mu_;
+  const size_t capacity_;  // set at construction, never changes
+  std::list<Entry> lru_ XVR_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      XVR_GUARDED_BY(mu_);
+  Stats stats_ XVR_GUARDED_BY(mu_);
 };
 
 }  // namespace xvr

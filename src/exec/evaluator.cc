@@ -3,21 +3,44 @@
 namespace xvr {
 
 const NodeIndex& BaseEvaluator::node_index() const {
-  std::call_once(node_once_,
-                 [this] { node_index_ = std::make_unique<NodeIndex>(tree_); });
+  if (const NodeIndex* built =
+          node_published_.load(std::memory_order_acquire)) {
+    return *built;
+  }
+  MutexLock lock(&node_mu_);
+  if (node_index_ == nullptr) {
+    node_index_ = std::make_unique<NodeIndex>(tree_);
+    node_published_.store(node_index_.get(), std::memory_order_release);
+  }
   return *node_index_;
 }
 
 const PathIndex& BaseEvaluator::path_index() const {
-  std::call_once(path_once_,
-                 [this] { path_index_ = std::make_unique<PathIndex>(tree_); });
+  if (const PathIndex* built =
+          path_published_.load(std::memory_order_acquire)) {
+    return *built;
+  }
+  MutexLock lock(&path_mu_);
+  if (path_index_ == nullptr) {
+    path_index_ = std::make_unique<PathIndex>(tree_);
+    path_published_.store(path_index_.get(), std::memory_order_release);
+  }
   return *path_index_;
 }
 
 const TjFastEvaluator& BaseEvaluator::tjfast() const {
-  std::call_once(tjfast_once_, [this] {
-    tjfast_ = std::make_unique<TjFastEvaluator>(tree_, node_index());
-  });
+  if (const TjFastEvaluator* built =
+          tjfast_published_.load(std::memory_order_acquire)) {
+    return *built;
+  }
+  // Resolve the shared node index before taking tjfast_mu_ so no thread
+  // ever holds tjfast_mu_ while acquiring node_mu_.
+  const NodeIndex& nodes = node_index();
+  MutexLock lock(&tjfast_mu_);
+  if (tjfast_ == nullptr) {
+    tjfast_ = std::make_unique<TjFastEvaluator>(tree_, nodes);
+    tjfast_published_.store(tjfast_.get(), std::memory_order_release);
+  }
   return *tjfast_;
 }
 

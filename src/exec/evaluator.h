@@ -3,13 +3,17 @@
 
 // Facade over the two base-data execution baselines of the paper's Fig. 8:
 // BN (basic node index) and BF (full path index). Indexes are built lazily
-// and cached; the build is guarded by std::call_once so concurrent readers
-// (the batch pipeline) can share one evaluator.
+// and cached so concurrent readers (the batch pipeline) can share one
+// evaluator: each index has a build mutex guarding its owning pointer and
+// an atomic publication pointer for the lock-free fast path (classic
+// double-checked locking, visible to the thread-safety analysis).
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/node_index.h"
 #include "exec/path_index.h"
 #include "exec/tjfast.h"
@@ -31,9 +35,11 @@ class BaseEvaluator {
   std::vector<NodeId> Evaluate(const TreePattern& pattern,
                                BaseStrategy strategy) const;
 
-  const NodeIndex& node_index() const;
-  const PathIndex& path_index() const;
-  const TjFastEvaluator& tjfast() const;
+  const NodeIndex& node_index() const XVR_EXCLUDES(node_mu_);
+  const PathIndex& path_index() const XVR_EXCLUDES(path_mu_);
+  // Builds the node index first (TJFast shares it), so tjfast_mu_ is always
+  // acquired before node_mu_, never the other way around.
+  const TjFastEvaluator& tjfast() const XVR_EXCLUDES(tjfast_mu_, node_mu_);
 
   // Eagerly builds the index the strategy needs (call before fanning a
   // batch across threads to keep the first queries from paying the build).
@@ -41,12 +47,18 @@ class BaseEvaluator {
 
  private:
   const XmlTree& tree_;
-  mutable std::once_flag node_once_;
-  mutable std::once_flag path_once_;
-  mutable std::once_flag tjfast_once_;
-  mutable std::unique_ptr<NodeIndex> node_index_;
-  mutable std::unique_ptr<PathIndex> path_index_;
-  mutable std::unique_ptr<TjFastEvaluator> tjfast_;
+  // One mutex per index: the mutex guards the owning pointer during the
+  // build; the published atomic makes later reads lock-free (an acquire
+  // load pairs with the release store after construction).
+  mutable Mutex node_mu_;
+  mutable Mutex path_mu_;
+  mutable Mutex tjfast_mu_;
+  mutable std::unique_ptr<NodeIndex> node_index_ XVR_GUARDED_BY(node_mu_);
+  mutable std::unique_ptr<PathIndex> path_index_ XVR_GUARDED_BY(path_mu_);
+  mutable std::unique_ptr<TjFastEvaluator> tjfast_ XVR_GUARDED_BY(tjfast_mu_);
+  mutable std::atomic<const NodeIndex*> node_published_{nullptr};
+  mutable std::atomic<const PathIndex*> path_published_{nullptr};
+  mutable std::atomic<const TjFastEvaluator*> tjfast_published_{nullptr};
 };
 
 }  // namespace xvr

@@ -25,17 +25,17 @@ namespace xvr {
 
 // True iff a homomorphism container -> containee exists, witnessing
 // containee ⊑ container.
-bool ContainsByHomomorphism(const TreePattern& container,
+[[nodiscard]] bool ContainsByHomomorphism(const TreePattern& container,
                             const TreePattern& containee);
 
 // containee ⊑ container for path patterns (complete; normalizes internally).
-bool PathContains(const PathPattern& container, const PathPattern& containee);
+[[nodiscard]] bool PathContains(const PathPattern& container, const PathPattern& containee);
 
 // Complete containment containee ⊑ container by enumerating canonical
 // models of `containee` and evaluating `container` on each. `dict` must be
 // the dictionary the patterns were parsed with (a fresh scratch label is
 // interned). Exponential; keep patterns small.
-bool ContainsCanonical(const TreePattern& container,
+[[nodiscard]] bool ContainsCanonical(const TreePattern& container,
                        const TreePattern& containee, LabelDict* dict);
 
 // Both-way containment.

@@ -25,7 +25,7 @@ std::vector<NodeId> EvaluatePattern(const TreePattern& pattern,
                                     const XmlTree& tree);
 
 // The boolean P(D) of the paper: true iff any embedding exists.
-bool MatchesPattern(const TreePattern& pattern, const XmlTree& tree);
+[[nodiscard]] bool MatchesPattern(const TreePattern& pattern, const XmlTree& tree);
 
 }  // namespace xvr
 

@@ -35,7 +35,7 @@ class HomomorphismMatcher {
   HomomorphismMatcher(const TreePattern& p, const TreePattern& q);
 
   // True iff any root-anchored homomorphism P -> Q exists.
-  bool Exists() const { return exists_; }
+  [[nodiscard]] bool Exists() const { return exists_; }
 
   // All nodes of Q that are the image of `p_node` in at least one
   // homomorphism (empty when none exists).
@@ -73,7 +73,7 @@ class HomomorphismMatcher {
 };
 
 // Convenience: true iff a homomorphism from `p` to `q` exists.
-bool ExistsHomomorphism(const TreePattern& p, const TreePattern& q);
+[[nodiscard]] bool ExistsHomomorphism(const TreePattern& p, const TreePattern& q);
 
 }  // namespace xvr
 

@@ -24,7 +24,7 @@ namespace xvr {
 PathPattern NormalizePath(const PathPattern& path);
 
 // True if NormalizePath(path) == path.
-bool IsNormalizedPath(const PathPattern& path);
+[[nodiscard]] bool IsNormalizedPath(const PathPattern& path);
 
 // Normalizes every root-to-leaf path of a tree pattern in place. Branching
 // nodes delimit runs (a wildcard with more than one child, or with a value

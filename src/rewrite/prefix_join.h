@@ -30,7 +30,7 @@ std::vector<PathAssignment> MatchPathOnLabels(const PathPattern& pattern,
                                               size_t max_assignments = 256);
 
 // Quick boolean form.
-bool PathMatchesLabels(const PathPattern& pattern,
+[[nodiscard]] bool PathMatchesLabels(const PathPattern& pattern,
                        const std::vector<LabelId>& labels);
 
 }  // namespace xvr

@@ -47,7 +47,7 @@ struct SelectionResult {
 };
 
 // True iff the union of covers equals LF(Q).
-bool CoversQuery(const LeafUniverse& universe,
+[[nodiscard]] bool CoversQuery(const LeafUniverse& universe,
                  const std::vector<SelectedView>& views);
 
 // Drops views whose removal keeps the union complete (makes a set minimal —

@@ -44,7 +44,7 @@ struct LeafCover {
 // is still verifiable from the stored attributes), supplies Δ only when the
 // anchor IS the query answer, and covers other leaves solely through
 // condition (b) — which needs no fragment content.
-std::optional<LeafCover> ComputeLeafCover(
+[[nodiscard]] std::optional<LeafCover> ComputeLeafCover(
     const TreePattern& view, const TreePattern& query,
     bool partial_materialization = false);
 

@@ -59,7 +59,7 @@ class Fragment {
   // fragment.
 
   // True iff the pattern embeds with pattern-root -> fragment-root.
-  bool MatchesAnchored(const TreePattern& pattern) const;
+  [[nodiscard]] bool MatchesAnchored(const TreePattern& pattern) const;
 
   // Every fragment node that is the image of the pattern's answer node in
   // some anchored embedding.

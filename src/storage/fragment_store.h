@@ -4,11 +4,19 @@
 // Holds the materialized fragments of every view, ordered by the Dewey code
 // of the fragment root (document order), and offers persistence through the
 // KvStore substrate.
+//
+// Thread-safety: the fragment map itself follows the engine-wide contract —
+// mutations (PutView/RemoveView/LoadFrom) are never concurrent with reads.
+// The only state mutated on the read path is the per-view byte-size memo
+// (ViewByteSize is called during planning by the HB strategy), which is
+// internally synchronized and annotated for the thread-safety analysis.
 
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/fragment.h"
 #include "storage/kv_store.h"
 
@@ -17,6 +25,13 @@ namespace xvr {
 class FragmentStore {
  public:
   FragmentStore() = default;
+
+  // Movable (engine load paths); the byte-size mutex is not moved — moves
+  // only happen while no readers exist, per the engine-wide contract.
+  FragmentStore(FragmentStore&& other) noexcept;
+  FragmentStore& operator=(FragmentStore&& other) noexcept;
+  FragmentStore(const FragmentStore&) = delete;
+  FragmentStore& operator=(const FragmentStore&) = delete;
 
   // Installs the fragments of `view_id` (replacing any previous ones).
   // Fragments are sorted by root code internally.
@@ -28,11 +43,17 @@ class FragmentStore {
   bool HasView(int32_t view_id) const;
   void RemoveView(int32_t view_id);
 
-  // Serialized byte size of one view's fragments (the 128 KB cap metric).
-  size_t ViewByteSize(int32_t view_id) const;
+  // Serialized byte size of one view's fragments (the 128 KB cap metric and
+  // the HB planning order). Memoized: computed once per view, invalidated
+  // when the view's fragments change. Safe to call from concurrent readers.
+  size_t ViewByteSize(int32_t view_id) const XVR_EXCLUDES(byte_size_mu_);
 
   size_t num_views() const { return views_.size(); }
   size_t TotalByteSize() const;
+
+  // Ids of all materialized views, sorted ascending (deterministic
+  // iteration for persistence and validation).
+  std::vector<int32_t> view_ids() const;
 
   // Persistence: keys are "frag/<view_id>/<seq>"; the image round-trips.
   Status SaveTo(KvStore* kv) const;
@@ -40,6 +61,10 @@ class FragmentStore {
 
  private:
   std::unordered_map<int32_t, std::vector<Fragment>> views_;
+  // view_id -> serialized size of its fragments, filled on first use.
+  mutable Mutex byte_size_mu_;
+  mutable std::unordered_map<int32_t, size_t> byte_size_memo_
+      XVR_GUARDED_BY(byte_size_mu_);
 };
 
 }  // namespace xvr

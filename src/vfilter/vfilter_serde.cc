@@ -250,13 +250,14 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
     for (StateId t : s.loop_states) {
       if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
     }
-    for (const auto& [label, targets] : s.label_trans) {
+    // Order-insensitive bounds check, not output. (lint:ordered-ok)
+    for (const auto& [label, targets] : s.label_trans) {  // lint:ordered-ok
       (void)label;
       for (StateId t : targets) {
         if (!valid(t)) return Status::ParseError("corrupt VFilter state id");
       }
     }
-    for (const auto& [token, targets] : s.pred_trans) {
+    for (const auto& [token, targets] : s.pred_trans) {  // lint:ordered-ok
       (void)token;
       for (StateId t : targets) {
         if (!valid(t)) return Status::ParseError("corrupt VFilter state id");

@@ -48,7 +48,7 @@ class DeweyCode {
   std::string ToString() const;
 
   // Parses "0.8.6". Returns false on malformed input.
-  static bool FromString(const std::string& text, DeweyCode* out);
+  [[nodiscard]] static bool FromString(const std::string& text, DeweyCode* out);
 
   // Document order: component-wise, prefix sorts before its extensions.
   friend bool operator<(const DeweyCode& a, const DeweyCode& b) {

@@ -36,7 +36,7 @@ class Fst {
 
   // Decodes `code` into the root-to-node label path. Returns false if the
   // code is not derivable from this schema.
-  bool Decode(const std::vector<uint32_t>& code,
+  [[nodiscard]] bool Decode(const std::vector<uint32_t>& code,
               std::vector<LabelId>* path) const;
 
   // Number of labels with a non-empty child list (states with transitions).

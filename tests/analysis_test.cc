@@ -1,0 +1,279 @@
+// Tests for the src/analysis invariant validators: every structure the
+// generators produce must validate green, and hand-corrupted structures
+// (out-of-order Dewey codes, dangling NFA transitions, unnormalized
+// patterns, misplaced fragments) must be rejected with a non-OK Status.
+
+#include "analysis/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "pattern/normalize.h"
+#include "pattern/xpath_parser.h"
+#include "workload/query_gen.h"
+#include "workload/random_doc.h"
+#include "workload/xmark.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+XmlTree SmallXmark() {
+  XmarkOptions options;
+  options.scale = 0.2;
+  return GenerateXmark(options);
+}
+
+// --- acceptance: generator outputs validate green --------------------------
+
+TEST(ValidateDocumentTest, AcceptsXmarkAndRandomDocs) {
+  XmlTree xmark = SmallXmark();
+  EXPECT_TRUE(ValidateDocument(xmark).ok());
+
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomDocOptions options;
+    options.seed = seed;
+    options.num_nodes = 300;
+    XmlTree doc = GenerateRandomDoc(options);
+    const Status status = ValidateDocument(doc);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status;
+  }
+}
+
+TEST(ValidateDocumentTest, AcceptsParsedDocument) {
+  auto doc = ParseXml("<b><t/><s><t/><f><i/></f><p/></s><s><t/><p/></s></b>");
+  ASSERT_TRUE(doc.ok());
+  doc->AssignDeweyCodes();
+  EXPECT_TRUE(ValidateDocument(*doc).ok());
+}
+
+TEST(ValidatePatternTest, AcceptsGeneratedQueries) {
+  XmlTree doc = GenerateRandomDoc({});
+  QueryGenerator gen(doc, {});
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const TreePattern query = gen.Generate(&rng);
+    const Status status = ValidateTreePattern(query);
+    EXPECT_TRUE(status.ok()) << status;
+    // N(P) of every decomposed root-to-leaf path must pass the §III-C
+    // normal-form check (what VFILTER indexes).
+    for (const PathPattern& path : Decompose(query).paths) {
+      const Status normalized =
+          ValidatePathPattern(NormalizePath(path), /*require_normalized=*/true);
+      EXPECT_TRUE(normalized.ok()) << normalized;
+    }
+  }
+}
+
+TEST(ValidatePatternTest, AcceptsNormalizedDecomposition) {
+  LabelDict dict;
+  auto query = ParseXPath("//a[.//*/b]/c", &dict);
+  ASSERT_TRUE(query.ok());
+  const Decomposition d = Decompose(*query);
+  for (const PathPattern& path : d.paths) {
+    EXPECT_TRUE(ValidatePathPattern(path).ok());
+    const PathPattern normalized = NormalizePath(path);
+    EXPECT_TRUE(
+        ValidatePathPattern(normalized, /*require_normalized=*/true).ok());
+  }
+}
+
+TEST(ValidateVFilterTest, AcceptsGeneratedViewSets) {
+  XmlTree doc = GenerateRandomDoc({});
+  QueryGenerator gen(doc, {});
+  Rng rng(11);
+  VFilter filter;
+  for (int i = 0; i < 40; ++i) {
+    filter.AddView(i, gen.Generate(&rng));
+  }
+  EXPECT_TRUE(ValidateVFilter(filter).ok());
+  // Logical deletion keeps the closure intact.
+  filter.RemoveView(3);
+  filter.RemoveView(17);
+  const Status status = ValidateVFilter(filter);
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(ValidateFragmentStoreTest, AcceptsEngineMaterializedViews) {
+  Engine engine(SmallXmark());
+  const auto add = [&](const std::string& xpath) {
+    auto pattern = engine.Parse(xpath);
+    ASSERT_TRUE(pattern.ok()) << pattern.status();
+    auto id = engine.AddView(std::move(*pattern));
+    ASSERT_TRUE(id.ok()) << id.status();
+  };
+  add("//person[profile/interest]/name");
+  add("//item[location]/name");
+  add("//closed_auction/price");
+  const ViewLookup lookup = [&](int32_t id) { return engine.view(id); };
+  const Status status =
+      ValidateFragmentStore(engine.fragments(), *engine.doc().fst(), lookup);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_TRUE(ValidateVFilter(engine.vfilter()).ok());
+  EXPECT_TRUE(ValidateDocument(engine.doc()).ok());
+}
+
+// --- rejection: hand-corrupted inputs --------------------------------------
+
+TEST(ValidateDocumentTest, RejectsOutOfOrderDeweyCodes) {
+  auto doc = ParseXml("<b><t/><a/><s><p/></s></b>");
+  ASSERT_TRUE(doc.ok());
+  doc->AssignDeweyCodes();
+  ASSERT_TRUE(ValidateDocument(*doc).ok());
+  // Swap the codes of the first two siblings; document order is broken and
+  // the codes no longer decode to the nodes' labels.
+  const std::vector<NodeId> children = doc->Children(doc->root());
+  ASSERT_GE(children.size(), 2u);
+  auto& first = const_cast<DeweyCode&>(doc->dewey(children[0]));
+  auto& second = const_cast<DeweyCode&>(doc->dewey(children[1]));
+  std::swap(first, second);
+  EXPECT_FALSE(ValidateDocument(*doc).ok());
+}
+
+TEST(ValidateDocumentTest, RejectsUndecodableCode) {
+  auto doc = ParseXml("<b><t/><s><p/></s></b>");
+  ASSERT_TRUE(doc.ok());
+  doc->AssignDeweyCodes();
+  const std::vector<NodeId> children = doc->Children(doc->root());
+  ASSERT_FALSE(children.empty());
+  // A component far beyond the schema's child-count residues cannot be the
+  // output of the extended-Dewey assignment for this label.
+  auto& code = const_cast<DeweyCode&>(doc->dewey(children[0]));
+  code = DeweyCode({0, 9999});
+  EXPECT_FALSE(ValidateDocument(*doc).ok());
+}
+
+TEST(ValidatePatternTest, RejectsCorruptedStructure) {
+  LabelDict dict;
+  auto query = ParseXPath("/a/b[c]/d", &dict);
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(ValidateTreePattern(*query).ok());
+
+  TreePattern broken_label = *query;
+  broken_label.mutable_node(1).label = -7;
+  EXPECT_FALSE(ValidateTreePattern(broken_label).ok());
+
+  TreePattern broken_parent = *query;
+  broken_parent.mutable_node(2).parent = 0;  // parent link no longer mutual
+  EXPECT_FALSE(ValidateTreePattern(broken_parent).ok());
+
+  TreePattern cycle = *query;
+  cycle.mutable_node(0).children.push_back(0);  // root becomes its own child
+  EXPECT_FALSE(ValidateTreePattern(cycle).ok());
+
+  TreePattern empty_pred = *query;
+  ValuePredicate pred;
+  pred.attribute = "";
+  empty_pred.mutable_node(1).value_pred = pred;
+  EXPECT_FALSE(ValidateTreePattern(empty_pred).ok());
+}
+
+TEST(ValidatePatternTest, RejectsUnnormalizedPath) {
+  LabelDict dict;
+  const LabelId a = dict.Intern("a");
+  const LabelId b = dict.Intern("b");
+  // a / * // * / b: the descendant edge sits on the SECOND wildcard of the
+  // run; §III-C normal form requires it on the first.
+  PathPattern path;
+  path.Append(Axis::kChild, a);
+  path.Append(Axis::kChild, kWildcardLabel);
+  path.Append(Axis::kDescendant, kWildcardLabel);
+  path.Append(Axis::kChild, b);
+  ASSERT_FALSE(IsNormalizedPath(path));
+  EXPECT_TRUE(ValidatePathPattern(path).ok());  // structurally fine
+  EXPECT_FALSE(
+      ValidatePathPattern(path, /*require_normalized=*/true).ok());
+  EXPECT_TRUE(
+      ValidatePathPattern(NormalizePath(path), /*require_normalized=*/true)
+          .ok());
+}
+
+TEST(ValidateVFilterTest, RejectsDanglingTransition) {
+  LabelDict dict;
+  auto view = ParseXPath("//a/b", &dict);
+  ASSERT_TRUE(view.ok());
+  VFilter filter;
+  filter.AddView(0, *view);
+  ASSERT_TRUE(ValidateVFilter(filter).ok());
+  // Point a '*' transition at a state that does not exist.
+  filter.mutable_nfa().mutable_states()[0].star_trans.push_back(
+      static_cast<StateId>(filter.nfa().num_states() + 5));
+  EXPECT_FALSE(ValidateVFilter(filter).ok());
+}
+
+TEST(ValidateVFilterTest, RejectsAcceptBookkeepingDrift) {
+  LabelDict dict;
+  auto view = ParseXPath("//a/b", &dict);
+  ASSERT_TRUE(view.ok());
+
+  VFilter lost_accept;
+  lost_accept.AddView(0, *view);
+  for (auto& state : lost_accept.mutable_nfa().mutable_states()) {
+    state.accepts.clear();  // view 0 still registered, no accepting path
+    state.is_accepting = false;
+  }
+  EXPECT_FALSE(ValidateVFilter(lost_accept).ok());
+
+  VFilter flag_drift;
+  flag_drift.AddView(0, *view);
+  for (auto& state : flag_drift.mutable_nfa().mutable_states()) {
+    if (state.is_accepting) {
+      state.is_accepting = false;  // entries remain: flag disagrees
+    }
+  }
+  EXPECT_FALSE(ValidateVFilter(flag_drift).ok());
+}
+
+TEST(ValidateFragmentStoreTest, RejectsOutOfOrderAndForeignFragments) {
+  Engine engine(SmallXmark());
+  auto pattern = engine.Parse("//person[profile/interest]/name");
+  ASSERT_TRUE(pattern.ok());
+  auto id = engine.AddView(std::move(*pattern));
+  ASSERT_TRUE(id.ok());
+  const ViewLookup lookup = [&](int32_t view_id) {
+    return engine.view(view_id);
+  };
+
+  const std::vector<Fragment>* fragments = engine.fragments().GetView(*id);
+  ASSERT_NE(fragments, nullptr);
+  ASSERT_GE(fragments->size(), 2u);
+
+  {
+    // Swap two fragments: no longer sorted by root code.
+    auto& mutable_fragments = const_cast<std::vector<Fragment>&>(*fragments);
+    std::swap(mutable_fragments.front(), mutable_fragments.back());
+    EXPECT_FALSE(
+        ValidateFragmentStore(engine.fragments(), *engine.doc().fst(), lookup)
+            .ok());
+    std::swap(mutable_fragments.front(), mutable_fragments.back());
+    ASSERT_TRUE(
+        ValidateFragmentStore(engine.fragments(), *engine.doc().fst(), lookup)
+            .ok());
+  }
+  {
+    // Teleport one fragment root to an undecodable position: its code can
+    // no longer be the image of the view's answer path.
+    auto& root_code =
+        const_cast<DeweyCode&>(fragments->front().root_code());
+    const DeweyCode saved = root_code;
+    root_code.Append(9999);
+    EXPECT_FALSE(
+        ValidateFragmentStore(engine.fragments(), *engine.doc().fst(), lookup)
+            .ok());
+    root_code = saved;
+  }
+}
+
+TEST(ValidateAnswerCodesTest, RejectsDuplicatesAndDisorder) {
+  EXPECT_TRUE(ValidateAnswerCodes({}).ok());
+  const DeweyCode a({0, 1});
+  const DeweyCode b({0, 2});
+  EXPECT_TRUE(ValidateAnswerCodes({a, b}).ok());
+  EXPECT_FALSE(ValidateAnswerCodes({b, a}).ok());
+  EXPECT_FALSE(ValidateAnswerCodes({a, a}).ok());
+}
+
+}  // namespace
+}  // namespace xvr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/validate.h"
 #include "core/engine.h"
 #include "pattern/xpath_parser.h"
 #include "pattern/evaluate.h"
@@ -68,6 +69,17 @@ TEST_F(PaperRunningExample, Example34FilteringAndAnswering) {
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(hv->codes, direct->codes);
   EXPECT_EQ(hv->codes.size(), 2u);
+
+  // The end-to-end run leaves every engine structure on its invariants
+  // (also enforced by the XVR_DEBUG_VALIDATE hooks in Debug builds).
+  EXPECT_TRUE(ValidateDocument(engine_.doc()).ok());
+  EXPECT_TRUE(ValidateVFilter(engine_.vfilter()).ok());
+  EXPECT_TRUE(ValidateFragmentStore(engine_.fragments(), *engine_.doc().fst(),
+                                    [&](int32_t id) {
+                                      return engine_.view(id);
+                                    })
+                  .ok());
+  EXPECT_TRUE(ValidateAnswerCodes(hv->codes).ok());
 }
 
 TEST_F(PaperRunningExample, HeuristicUsesAtMostTwoViews) {
@@ -145,8 +157,15 @@ TEST(Integration, MixedStrategiesOnPaperSetup) {
           << answer.status();
       EXPECT_EQ(answer->codes, bn->codes)
           << setup.query_names[i] << " via " << AnswerStrategyName(s);
+      EXPECT_TRUE(ValidateAnswerCodes(answer->codes).ok())
+          << setup.query_names[i] << " via " << AnswerStrategyName(s);
     }
   }
+  const Engine& engine = *setup.engine;
+  EXPECT_TRUE(ValidateVFilter(engine.vfilter()).ok());
+  EXPECT_TRUE(ValidateFragmentStore(engine.fragments(), *engine.doc().fst(),
+                                    [&](int32_t id) { return engine.view(id); })
+                  .ok());
 }
 
 TEST(Integration, TableIIIAdvertisedViewCounts) {

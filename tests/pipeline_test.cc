@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/validate.h"
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "core/planner.h"
@@ -197,8 +198,18 @@ TEST_F(BatchTest, ConcurrentBatchMatchesSequentialForAllStrategies) {
           << results[i].status();
       EXPECT_EQ(results[i]->codes, expected[i])
           << AnswerStrategyName(strategy) << " query " << i;
+      EXPECT_TRUE(ValidateAnswerCodes(results[i]->codes).ok())
+          << AnswerStrategyName(strategy) << " query " << i;
     }
   }
+  // The concurrent runs left the shared catalog structures untouched.
+  EXPECT_TRUE(ValidateVFilter(setup_.engine->vfilter()).ok());
+  EXPECT_TRUE(ValidateFragmentStore(setup_.engine->fragments(),
+                                    *setup_.engine->doc().fst(),
+                                    [&](int32_t id) {
+                                      return setup_.engine->view(id);
+                                    })
+                  .ok());
 }
 
 TEST_F(BatchTest, BatchSeesPlanCacheHitsOnRepeats) {

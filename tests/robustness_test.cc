@@ -81,7 +81,7 @@ TEST(FuzzXmlParser, MutatedValidDocumentNeverCrashes) {
       mutated[rng.NextBounded(mutated.size())] =
           static_cast<char>(rng.NextBounded(128));
     }
-    (void)ParseXml(mutated);  // must not crash; outcome free
+    (void)ParseXml(mutated);  // must not crash; outcome free (lint:discard-ok)
   }
 }
 
@@ -163,7 +163,7 @@ TEST(FuzzSerde, VFilterImageCorruption) {
       // bounds; the deserializer accepted it, so bounds were intact for the
       // registry — guard the read with a size check.
       if (restored->num_states() > 0) {
-        (void)restored->Filter(*q);
+        (void)restored->Filter(*q);  // crash probe (lint:discard-ok)
       }
     }
   }
@@ -187,7 +187,7 @@ TEST(FuzzSerde, FragmentCorruption) {
             static_cast<char>(rng.NextBounded(256));
       }
     }
-    (void)Fragment::Deserialize(mutated);  // must not crash
+    (void)Fragment::Deserialize(mutated);  // must not crash (lint:discard-ok)
   }
 }
 
