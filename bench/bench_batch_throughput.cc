@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/deadline.h"
 #include "common/timer.h"
 #include "core/planner.h"
 
@@ -37,9 +38,10 @@ struct RunResult {
 
 RunResult RunBatch(const xvr::Engine& engine,
                    const std::vector<TreePattern>& batch,
-                   AnswerStrategy strategy, int threads) {
+                   AnswerStrategy strategy, int threads,
+                   const xvr::QueryLimits& limits = xvr::QueryLimits()) {
   WallTimer timer;
-  auto results = engine.BatchAnswer(batch, strategy, threads);
+  auto results = engine.BatchAnswer(batch, strategy, threads, limits);
   RunResult out;
   out.seconds = timer.ElapsedMicros() / 1e6;
   size_t failures = 0;
@@ -122,6 +124,34 @@ int main() {
           static_cast<unsigned long long>(stats.hits),
           static_cast<unsigned long long>(stats.hits + stats.misses));
     }
+    // --- deadline-check overhead: generous deadline vs. none ----------------
+    //
+    // A deadline arms every CheckInterrupted / InterruptTicker on the path
+    // (strided clock reads in the NFA, selection, refinement and join
+    // loops); an infinite deadline short-circuits to one branch. The gap
+    // between the two runs is the cost of serving with deadlines on, which
+    // the strided tickers are meant to keep under ~2%.
+    // Best-of-3 per side, alternating, to shave scheduler noise off a
+    // single-digit-percent comparison.
+    xvr::QueryLimits limits;
+    limits.deadline = xvr::Deadline::AfterMicros(60'000'000);  // never hit
+    RunResult unlimited, limited;
+    for (int rep = 0; rep < 3; ++rep) {
+      ResetCache(engine);
+      const RunResult u = RunBatch(engine, batch, strategy, 1);
+      unlimited.qps = std::max(unlimited.qps, u.qps);
+      ResetCache(engine);
+      const RunResult l = RunBatch(engine, batch, strategy, 1, limits);
+      limited.qps = std::max(limited.qps, l.qps);
+    }
+    const double overhead_pct =
+        unlimited.qps > 0
+            ? (unlimited.qps - limited.qps) / unlimited.qps * 100.0
+            : 0.0;
+    std::printf(
+        "  deadline overhead: none %8.0f q/s, 60s deadline %8.0f q/s "
+        "(%+.2f%%)\n",
+        unlimited.qps, limited.qps, overhead_pct);
     std::printf("\n");
   }
   return 0;

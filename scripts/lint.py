@@ -29,6 +29,16 @@ Rules (each suppressible per line with a `lint:<rule>-ok` comment):
                 persisted images and makes them nondeterministic. Suppress a
                 deliberately order-insensitive loop with lint:ordered-ok.
 
+  deadline      In src/core and src/exec, a function on the limit-carrying
+                serving path (one that mentions QueryLimits or
+                ExecutionContext) must not contain a for/while loop without
+                any deadline check (CheckInterrupted, InterruptTicker::Tick,
+                or Deadline::Expired) in the same function. Keeps new
+                blocking loops from creeping into the serving path
+                unchecked. The rule is function-scoped: a lint:deadline-ok
+                comment anywhere in the function suppresses it (use for
+                loops that only fan work out to already-checked callees).
+
 Usage: scripts/lint.py [root]   (root defaults to the repo checkout)
 Exit status 0 when clean, 1 with one "file:line: [rule] message" per finding.
 """
@@ -46,6 +56,14 @@ RAW_MUTEX_RE = re.compile(
 THROW_TRY_RE = re.compile(r"(^|[^\w])(throw\b|try\s*\{|catch\s*\()")
 VOID_DISCARD_RE = re.compile(r"\(void\)\s*[\w:\.\->]*\w\s*\(")
 SUPPRESS_RE = re.compile(r"lint:([a-z-]+)-ok")
+
+DEADLINE_DIRS = ("src/core/", "src/exec/")
+DEADLINE_CARRIER_RE = re.compile(r"\b(QueryLimits|ExecutionContext)\b")
+DEADLINE_CHECK_RE = re.compile(r"CheckInterrupted|\.Tick\(|Expired\(")
+LOOP_RE = re.compile(r"^\s*(?:for|while)\s*\(")
+SEGMENT_KEYWORDS = ("if", "for", "while", "switch", "return", "case", "#",
+                    "}", "namespace", "class", "struct", "using", "typedef",
+                    "static_assert", "//")
 
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>[&\s]+(\w+)\s*[;={(]")
@@ -121,6 +139,35 @@ def current_function_at(code_lines, lineno):
     return ""
 
 
+def lint_deadline(rel, raw_lines, code_lines, findings):
+    """Serving-path functions (src/core, src/exec) that carry QueryLimits or
+    an ExecutionContext must check the deadline somewhere if they loop."""
+    if not rel.startswith(DEADLINE_DIRS) or not rel.endswith(".cc"):
+        return
+    # Top-level definitions start at column 0 and open a parameter list;
+    # everything up to the next such line is one function's segment.
+    starts = [i for i, line in enumerate(code_lines)
+              if line and not line[0].isspace() and "(" in line
+              and not line.lstrip().startswith(SEGMENT_KEYWORDS)]
+    starts.append(len(code_lines))
+    for a, b in zip(starts, starts[1:]):
+        segment = "\n".join(code_lines[a:b])
+        if not DEADLINE_CARRIER_RE.search(segment):
+            continue  # not on the limit-carrying serving path
+        if DEADLINE_CHECK_RE.search(segment):
+            continue
+        loops = [i for i in range(a, b) if LOOP_RE.match(code_lines[i])]
+        if not loops:
+            continue
+        if any("lint:deadline-ok" in raw_lines[i]
+               for i in range(a, min(b, len(raw_lines)))):
+            continue
+        findings.append((rel, loops[0] + 1, "deadline",
+                         "loop on the serving path without a deadline "
+                         "check; add CheckInterrupted/InterruptTicker "
+                         "(common/deadline.h) or lint:deadline-ok"))
+
+
 def lint_file(rel, raw, code, unordered_names, findings):
     raw_lines = raw.splitlines()
     code_lines = code.splitlines()
@@ -180,6 +227,7 @@ def main():
     findings = []
     for rel, raw, code in files:
         lint_file(rel, raw, code, unordered_names, findings)
+        lint_deadline(rel, raw.splitlines(), code.splitlines(), findings)
 
     for rel, lineno, rule, message in findings:
         print(f"{rel}:{lineno}: [{rule}] {message}")

@@ -1,0 +1,71 @@
+#include "common/fault_injection.h"
+
+namespace xvr {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  MutexLock lock(&mu_);
+  ArmedPoint armed;
+  armed.spec = spec;
+  armed.rng = Rng(spec.seed);
+  points_.insert_or_assign(point, std::move(armed));
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  MutexLock lock(&mu_);
+  points_.erase(point);
+}
+
+void FaultInjector::DisarmAll() {
+  MutexLock lock(&mu_);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFire(const char* point) {
+  MutexLock lock(&mu_);
+  if (points_.empty()) {
+    return false;
+  }
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    return false;
+  }
+  ArmedPoint& armed = it->second;
+  ++armed.hits;
+  if (armed.hits <= armed.spec.skip) {
+    return false;
+  }
+  if (armed.spec.max_fires != 0 && armed.fires >= armed.spec.max_fires) {
+    return false;
+  }
+  const uint64_t eligible = armed.hits - armed.spec.skip;
+  bool fire = false;
+  if (armed.spec.every_nth != 0 && eligible % armed.spec.every_nth == 0) {
+    fire = true;
+  }
+  if (!fire && armed.spec.probability > 0.0) {
+    fire = armed.rng.NextBool(armed.spec.probability);
+  }
+  if (fire) {
+    ++armed.fires;
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& point) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace xvr

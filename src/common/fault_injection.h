@@ -1,0 +1,104 @@
+#ifndef XVR_COMMON_FAULT_INJECTION_H_
+#define XVR_COMMON_FAULT_INJECTION_H_
+
+// Compile-gated fault injection for robustness testing.
+//
+// Production code marks failure-prone spots with a named fault point:
+//
+//   XVR_FAULT_POINT("fragment_store.load",
+//                   return Status::IoError("injected: fragment_store.load"));
+//
+// In a normal build the macro compiles to nothing — zero code, zero data.
+// When the build sets -DXVR_FAULTS=ON (the CI fault-injection job, or any
+// local `cmake -DXVR_FAULTS=ON`), every point consults the process-wide
+// FaultInjector registry; tests arm points by name with deterministic
+// nth-call or (seeded) probabilistic triggers and assert that the system
+// degrades gracefully instead of crashing or corrupting state.
+//
+// The registry itself is always compiled (tests can link and Arm
+// unconditionally); FaultInjectionCompiledIn() tells a test whether the
+// points will actually fire, so fault-dependent tests can GTEST_SKIP in
+// builds without points.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/thread_annotations.h"
+
+namespace xvr {
+
+// When a point fires. Triggers compose: a call is eligible after `skip`
+// calls, then fires on every `every_nth`-th eligible call OR with
+// `probability` per eligible call, until `max_fires` is reached.
+struct FaultSpec {
+  // Fire on every nth eligible call; 1 = every call, 0 = never count-based.
+  uint64_t every_nth = 1;
+  // Eligible calls skipped before any trigger applies.
+  uint64_t skip = 0;
+  // Per-call fire probability in [0, 1]; 0 disables the probabilistic
+  // trigger. Evaluated with a deterministic per-point RNG (see `seed`).
+  double probability = 0.0;
+  uint64_t seed = 42;
+  // Stop firing after this many fires; 0 = unlimited.
+  uint64_t max_fires = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // True when the armed spec for `point` says this call should fail.
+  // Unarmed points never fire. Thread-safe.
+  bool ShouldFire(const char* point);
+
+  // Eligible calls seen / fires triggered since the point was armed.
+  uint64_t HitCount(const std::string& point) const;
+  uint64_t FireCount(const std::string& point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedPoint {
+    FaultSpec spec;
+    Rng rng{42};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, ArmedPoint> points_ XVR_GUARDED_BY(mu_);
+};
+
+constexpr bool FaultInjectionCompiledIn() {
+#if defined(XVR_FAULTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(XVR_FAULTS)
+// `...` is the statement to run when the fault fires (typically a `return
+// Status::...`), variadic so the statement may contain commas.
+#define XVR_FAULT_POINT(point, ...)                          \
+  do {                                                       \
+    if (::xvr::FaultInjector::Instance().ShouldFire(point)) { \
+      __VA_ARGS__;                                           \
+    }                                                        \
+  } while (false)
+#else
+#define XVR_FAULT_POINT(point, ...) \
+  do {                              \
+  } while (false)
+#endif
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,57 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/fault_injection.h"
+
+namespace xvr {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  XVR_FAULT_POINT("file.read",
+                  return Status::IoError("injected: file.read " + path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string bytes;
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  if (size < 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  bytes.resize(static_cast<size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    return Status::IoError("read failure on " + path);
+  }
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  XVR_FAULT_POINT("file.write_atomic",
+                  return Status::IoError("injected: file.write_atomic " +
+                                         path));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace xvr

@@ -1,0 +1,29 @@
+#ifndef XVR_COMMON_FILE_UTIL_H_
+#define XVR_COMMON_FILE_UTIL_H_
+
+// Whole-file I/O with crash-safe writes.
+//
+// Every persisted image (engine state, standalone KvStore files) goes
+// through WriteFileAtomic: the bytes land in a temporary sibling file first
+// and are renamed over the target only after a successful write+flush, so a
+// crash mid-save leaves either the old image or the new one on disk — never
+// a torn half-write. (Torn images are additionally caught at load time by
+// the trailing checksums, but atomicity means a crash does not cost the
+// previous good state.)
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xvr {
+
+// Reads the entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes `bytes` to `path` via write-temp-then-rename. On any failure the
+// temporary file is removed and `path` is left untouched.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+}  // namespace xvr
+
+#endif  // XVR_COMMON_FILE_UTIL_H_

@@ -16,5 +16,13 @@ CheckFailure::~CheckFailure() {
   std::abort();
 }
 
+LogMessage::LogMessage(const char* severity) {
+  stream_ << "[" << severity << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
 }  // namespace internal_logging
 }  // namespace xvr

@@ -6,6 +6,10 @@
 // XVR_CHECK(cond) aborts on violation in every build type; XVR_DCHECK only in
 // debug builds. Both stream extra context:
 //   XVR_CHECK(n < size_) << "index " << n << " out of range";
+//
+// XVR_LOG(WARNING) << ...; emits one stderr line, tagged with the severity.
+// Used sparingly, for conditions the engine survives but an operator should
+// see (quarantined views, degraded rebuilds).
 
 #include <cstdlib>
 #include <sstream>
@@ -39,8 +43,26 @@ class NullStream {
   }
 };
 
+// Accumulates one log line and writes it to stderr in the destructor.
+class LogMessage {
+ public:
+  explicit LogMessage(const char* severity);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal_logging
 }  // namespace xvr
+
+#define XVR_LOG(severity) ::xvr::internal_logging::LogMessage(#severity)
 
 #define XVR_CHECK(condition)                                              \
   if (condition) {                                                        \

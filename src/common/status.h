@@ -25,6 +25,9 @@ enum class StatusCode : uint8_t {
   kCapacityExceeded = 5,  // a configured size limit was hit
   kIoError = 6,           // file read/write failure
   kInternal = 7,          // invariant violation inside the library
+  kDeadlineExceeded = 8,  // the call's deadline expired before completion
+  kResourceExhausted = 9,  // a per-call resource budget was hit
+  kCancelled = 10,        // the caller cancelled the call
 };
 
 // Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
@@ -62,6 +65,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -133,14 +133,28 @@ std::vector<int32_t> Engine::view_ids() const {
   ids.reserve(views_.size());
   for (const auto& [id, pattern] : views_) {
     (void)pattern;
-    ids.push_back(id);
+    if (quarantined_views_.count(id) == 0) {
+      ids.push_back(id);
+    }
   }
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
+std::vector<int32_t> Engine::quarantined_view_ids() const {
+  std::vector<int32_t> ids(quarantined_views_.begin(),
+                           quarantined_views_.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 ViewLookup Engine::MakeLookup() const {
-  return [this](int32_t id) { return view(id); };
+  // Quarantined views must never reach selection: resolving them to nullptr
+  // makes every selector skip them even if a stale id leaks into a
+  // candidate list.
+  return [this](int32_t id) -> const TreePattern* {
+    return quarantined_views_.count(id) > 0 ? nullptr : view(id);
+  };
 }
 
 Result<SelectionResult> Engine::SelectViews(const TreePattern& query,
@@ -159,14 +173,24 @@ Result<Engine::Answer> Engine::AnswerQuery(const TreePattern& query,
   return pipeline_->Answer(query, strategy, &ctx);
 }
 
+Result<Engine::Answer> Engine::AnswerQuery(const TreePattern& query,
+                                           AnswerStrategy strategy,
+                                           const QueryLimits& limits) const {
+  ExecutionContext ctx;
+  ctx.limits = limits;
+  return pipeline_->Answer(query, strategy, &ctx);
+}
+
 std::vector<Result<Engine::Answer>> Engine::BatchAnswer(
     std::span<const TreePattern> queries, AnswerStrategy strategy,
-    int num_threads) const {
-  return pipeline_->BatchAnswer(queries, strategy, num_threads);
+    int num_threads, const QueryLimits& limits) const {
+  return pipeline_->BatchAnswer(queries, strategy, num_threads, limits);
 }
 
 Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
     const TreePattern& query, AnswerStrategy strategy) const {
+  // Unlimited convenience API: loops only walk the already-computed answer
+  // (lint:deadline-ok).
   if (IsBaseStrategy(strategy)) {
     Answer answer;
     XVR_ASSIGN_OR_RETURN(answer, AnswerQuery(query, strategy));
@@ -188,15 +212,26 @@ Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
 Status Engine::SaveState(const std::string& path) const {
   KvStore kv;
   kv.Put("meta/doc", WriteXml(doc_, doc_.root()));
-  for (const int32_t id : view_ids()) {
-    const TreePattern& pattern = *view(id);
+  // All views, including quarantined ones — their patterns survive the
+  // round trip, marked so the restored engine quarantines them again.
+  std::vector<int32_t> all_ids;
+  all_ids.reserve(views_.size());
+  for (const auto& [id, pattern] : views_) {  // sorted below (lint:ordered-ok)
+    (void)pattern;
+    all_ids.push_back(id);
+  }
+  std::sort(all_ids.begin(), all_ids.end());
+  for (const int32_t id : all_ids) {
+    const TreePattern& pattern = views_.at(id);
     const std::string key =
         "view/" + std::string(10 - std::min<size_t>(
                                        10, std::to_string(id).size()),
                               '0') +
         std::to_string(id);
     kv.Put(key, PatternToXPath(pattern, doc_.labels()));
-    if (!fragment_store_.HasView(id)) {
+    if (quarantined_views_.count(id) > 0) {
+      kv.Put("viewmeta/" + std::to_string(id), "quarantined");
+    } else if (!fragment_store_.HasView(id)) {
       kv.Put("viewmeta/" + std::to_string(id), "pattern-only");
     } else if (partial_views_.count(id) > 0) {
       kv.Put("viewmeta/" + std::to_string(id), "codes-only");
@@ -205,6 +240,8 @@ Status Engine::SaveState(const std::string& path) const {
   kv.Put("meta/next_view_id", std::to_string(next_view_id_));
   kv.Put("vfilter/image", SerializeVFilter(vfilter_));
   XVR_RETURN_IF_ERROR(fragment_store_.SaveTo(&kv));
+  // KvStore::SaveToFile writes via write-temp-then-rename with a trailing
+  // checksum: a crash here cannot lose a previous good image.
   return kv.SaveToFile(path);
 }
 
@@ -224,10 +261,6 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
   // filter come from the image itself.
   auto engine = std::make_unique<Engine>(std::move(doc), std::move(options));
 
-  const std::string* image = kv.Get("vfilter/image");
-  if (image == nullptr) {
-    return Status::ParseError("engine image has no VFilter");
-  }
   // Restore views (patterns re-parsed against the restored dictionary).
   Status status = Status::Ok();
   kv.ScanPrefix("view/", [&](const std::string& key,
@@ -243,16 +276,53 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
     return true;
   });
   XVR_RETURN_IF_ERROR(status);
-  XVR_ASSIGN_OR_RETURN(engine->vfilter_, DeserializeVFilter(*image));
-  XVR_RETURN_IF_ERROR(engine->fragment_store_.LoadFrom(kv));
+  // Fault-tolerant fragment load: a view with corrupt fragments is
+  // quarantined (dropped from serving with a warning) instead of failing
+  // the whole restore.
+  std::vector<int32_t> frag_quarantined;
+  XVR_RETURN_IF_ERROR(
+      engine->fragment_store_.LoadFrom(kv, &frag_quarantined));
   kv.ScanPrefix("viewmeta/", [&](const std::string& key,
                                  const std::string& value) {
+    const int32_t id =
+        static_cast<int32_t>(std::atoi(key.substr(9).c_str()));
     if (value == "codes-only") {
-      engine->partial_views_.insert(
-          static_cast<int32_t>(std::atoi(key.substr(9).c_str())));
+      engine->partial_views_.insert(id);
+    } else if (value == "quarantined") {
+      // Quarantined before the save; stays quarantined after the restore.
+      engine->quarantined_views_.insert(id);
     }
     return true;
   });
+  // The VFILTER image is an index over the view catalog, so a corrupt or
+  // missing image is recoverable: rebuild the filter from the restored
+  // patterns instead of failing the load.
+  const std::string* image = kv.Get("vfilter/image");
+  Result<VFilter> filter =
+      image != nullptr
+          ? DeserializeVFilter(*image)
+          : Result<VFilter>(Status::ParseError("engine image has no VFilter"));
+  if (filter.ok()) {
+    engine->vfilter_ = std::move(filter).value();
+  } else {
+    XVR_LOG(WARNING) << "rebuilding VFILTER from the view catalog: "
+                     << filter.status().message();
+    engine->vfilter_ = VFilter(engine->options_.vfilter);
+    for (const int32_t id : engine->view_ids()) {
+      engine->vfilter_.AddView(id, engine->views_.at(id));
+    }
+    engine->vfilter_rebuilt_ = true;
+  }
+  // Quarantine: remove corrupt-fragment views from every selection-facing
+  // structure. Their patterns stay in views_ for diagnosis.
+  for (const int32_t id : frag_quarantined) {
+    engine->quarantined_views_.insert(id);
+  }
+  for (const int32_t id : engine->quarantined_views_) {
+    engine->vfilter_.RemoveView(id);
+    engine->fragment_store_.RemoveView(id);
+    engine->partial_views_.erase(id);
+  }
   if (const std::string* next = kv.Get("meta/next_view_id")) {
     engine->next_view_id_ = static_cast<int32_t>(std::atoi(next->c_str()));
   }

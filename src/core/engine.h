@@ -120,12 +120,22 @@ class Engine {
   Result<Answer> AnswerQuery(const TreePattern& query,
                              AnswerStrategy strategy) const;
 
+  // Limit-aware variant: `limits` carries the deadline, the cancel token
+  // and the resource budgets (common/deadline.h). An expired deadline
+  // surfaces as DEADLINE_EXCEEDED within one stage boundary; when only the
+  // exhaustive-selection slice overruns, the planner degrades to the greedy
+  // heuristic instead (stats.degraded_selection) and the query still
+  // answers.
+  Result<Answer> AnswerQuery(const TreePattern& query, AnswerStrategy strategy,
+                             const QueryLimits& limits) const;
+
   // Answers all queries, fanning them across `num_threads` workers (0 or 1
   // = sequential). Results are positionally parallel to `queries` and
-  // identical to sequential AnswerQuery calls.
-  std::vector<Result<Answer>> BatchAnswer(std::span<const TreePattern> queries,
-                                          AnswerStrategy strategy,
-                                          int num_threads = 0) const;
+  // identical to sequential AnswerQuery calls. Per-slot failures never
+  // abort or poison the rest of the batch; `limits` applies to every query.
+  std::vector<Result<Answer>> BatchAnswer(
+      std::span<const TreePattern> queries, AnswerStrategy strategy,
+      int num_threads = 0, const QueryLimits& limits = QueryLimits()) const;
 
   // Answers and materializes each result as XML text: from the document for
   // base strategies, from the view fragments (no base access) for view
@@ -156,10 +166,34 @@ class Engine {
   // materialized fragments) into one KvStore image on disk and restores it.
   // Mirrors the paper's deployment where BDB holds the filter and the
   // fragments across sessions.
+  //
+  // Crash safety and corruption tolerance: the image is written via
+  // write-temp-then-rename and carries a FNV-1a checksum, so a crash
+  // mid-save never loses the previous good state. On load, a corrupt or
+  // missing VFILTER image is rebuilt from the restored view catalog
+  // (vfilter_rebuilt() reports it), and a view with corrupt fragments is
+  // quarantined — dropped from the selection candidates with a warning —
+  // while the engine keeps answering from the remaining views. Only a
+  // corrupt document (or a torn image, caught by the checksum) fails the
+  // load.
 
   Status SaveState(const std::string& path) const;
   static Result<std::unique_ptr<Engine>> LoadState(const std::string& path,
                                                    EngineOptions options = {});
+
+  // Views quarantined by LoadState (corrupt fragments), sorted ascending.
+  // Their patterns remain visible through view(id) for diagnosis, but they
+  // are excluded from view_ids(), the planner's lookup and VFILTER, so no
+  // plan ever selects them. Re-adding a fresh view under a new id is the
+  // way back.
+  std::vector<int32_t> quarantined_view_ids() const;
+  bool IsViewQuarantined(int32_t id) const {
+    return quarantined_views_.count(id) > 0;
+  }
+
+  // True when LoadState could not decode the persisted VFILTER image and
+  // rebuilt the filter from the view catalog instead.
+  bool vfilter_rebuilt() const { return vfilter_rebuilt_; }
 
   // --- component access (benches, tests) ------------------------------------
 
@@ -184,6 +218,10 @@ class Engine {
   FragmentStore fragment_store_;
   std::unordered_map<int32_t, TreePattern> views_;
   std::unordered_set<int32_t> partial_views_;  // codes-only materialization
+  // Views LoadState removed from serving (corrupt fragments). Patterns stay
+  // in views_ for diagnosis; everything selection-facing excludes them.
+  std::unordered_set<int32_t> quarantined_views_;
+  bool vfilter_rebuilt_ = false;
   int32_t next_view_id_ = 0;
   std::atomic<uint64_t> catalog_version_{0};
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/validate.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "rewrite/rewriter.h"
@@ -27,6 +28,11 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   if (cache_hit != nullptr) {
     *cache_hit = false;
   }
+  // Stage boundary: an already-expired deadline or a tripped cancel token
+  // fails here, before any planning work.
+  XVR_RETURN_IF_ERROR(CheckInterrupted(ctx->limits, "pipeline.plan"));
+  XVR_FAULT_POINT("pipeline.plan",
+                  return Status::Internal("injected: pipeline.plan"));
   const uint64_t version = deps_.catalog_version();
   std::string key;
   if (deps_.cache != nullptr) {
@@ -42,12 +48,15 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   QueryPlan plan;
   XVR_ASSIGN_OR_RETURN(
       plan, deps_.planner->BuildPlan(query, strategy, version,
-                                     &ctx->nfa_scratch));
+                                     &ctx->nfa_scratch, ctx->limits));
   // The plan's (possibly minimized) pattern is what selection indexed and
   // what execution will embed — it must still be a well-formed pattern.
   XVR_DEBUG_VALIDATE(ValidateTreePattern(plan.query));
   auto shared = std::make_shared<const QueryPlan>(std::move(plan));
-  if (deps_.cache != nullptr) {
+  // A degraded plan reflects this call's deadline, not the query: callers
+  // with ample time must not inherit its greedy fallback, so it is never
+  // cached.
+  if (deps_.cache != nullptr && !shared->degraded) {
     deps_.cache->Insert(key, shared);
   }
   return shared;
@@ -55,7 +64,11 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
 
 Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
                                            ExecutionContext* ctx) const {
-  (void)ctx;  // base scans and the rewriter keep their scratch call-local
+  // Stage boundary: plans whose deadline expired during planning fail here
+  // rather than starting a scan.
+  XVR_RETURN_IF_ERROR(CheckInterrupted(ctx->limits, "pipeline.execute"));
+  XVR_FAULT_POINT("pipeline.execute",
+                  return Status::Internal("injected: pipeline.execute"));
   QueryAnswer answer;
   answer.stats = plan.plan_stats;
   WallTimer timer;
@@ -63,6 +76,13 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
     const std::vector<NodeId> nodes =
         deps_.base->Evaluate(plan.query, plan.base_strategy);
     answer.stats.execution_micros = timer.ElapsedMicros();
+    if (ctx->limits.max_result_codes > 0 &&
+        nodes.size() > ctx->limits.max_result_codes) {
+      return Status::ResourceExhausted(
+          "answer has " + std::to_string(nodes.size()) +
+          " nodes, over the result budget of " +
+          std::to_string(ctx->limits.max_result_codes));
+    }
     answer.codes.reserve(nodes.size());
     for (NodeId n : nodes) {
       answer.codes.push_back(deps_.doc->dewey(n));
@@ -71,9 +91,12 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
     answer.stats.total_micros = timer.ElapsedMicros();
     return answer;
   }
+  RewriteOptions rewrite_options;
+  rewrite_options.limits = ctx->limits;
   Result<std::vector<DeweyCode>> codes =
       AnswerWithViews(plan.query, plan.selection, *deps_.fragments,
-                      *deps_.doc->fst(), &answer.stats.rewrite);
+                      *deps_.doc->fst(), &answer.stats.rewrite,
+                      rewrite_options);
   answer.stats.execution_micros = timer.ElapsedMicros();
   answer.stats.total_micros =
       answer.stats.execution_micros + answer.stats.filter_micros +
@@ -104,7 +127,9 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
 
 std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
     std::span<const TreePattern> queries, AnswerStrategy strategy,
-    int num_threads) const {
+    int num_threads, const QueryLimits& limits) const {
+  // The fan-out loops here only dispatch; every per-query deadline check
+  // runs inside Answer() (lint:deadline-ok).
   std::vector<Result<QueryAnswer>> results;
   results.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -132,6 +157,7 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
       static_cast<size_t>(std::max(num_threads, 1)));
   if (workers <= 1) {
     ExecutionContext ctx;
+    ctx.limits = limits;
     for (size_t i = 0; i < queries.size(); ++i) {
       results[i] = Answer(queries[i], strategy, &ctx);
     }
@@ -141,6 +167,7 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
   std::atomic<size_t> next{0};
   auto worker = [&] {
     ExecutionContext ctx;  // per-thread scratch
+    ctx.limits = limits;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < queries.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/planner.h"
 #include "storage/fragment_store.h"
@@ -34,6 +35,10 @@ namespace xvr {
 struct ExecutionContext {
   // NFA runtime state for VFilter::Filter (frontier, visited epochs).
   NfaReadScratch nfa_scratch;
+  // Deadline, cancellation and resource budgets for calls made with this
+  // context. Checked at stage boundaries and inside the hot loops; see
+  // common/deadline.h. Defaults impose no limit.
+  QueryLimits limits;
 };
 
 // What AnswerQuery returns: the extended Dewey codes of the query result
@@ -80,9 +85,14 @@ class QueryPipeline {
   // Answers all queries with `num_threads` workers (0 or 1 = sequential in
   // the calling thread; capped at the batch size). Results are positionally
   // parallel to `queries` and identical to calling Answer sequentially.
+  // Failures are isolated per slot: one query failing (unanswerable, over
+  // budget, fault-injected) never aborts or poisons the rest of the batch.
+  // `limits` applies to every query; a batch-wide deadline makes stragglers
+  // fail fast with DEADLINE_EXCEEDED while finished slots keep their
+  // answers.
   std::vector<Result<QueryAnswer>> BatchAnswer(
       std::span<const TreePattern> queries, AnswerStrategy strategy,
-      int num_threads) const;
+      int num_threads, const QueryLimits& limits = QueryLimits()) const;
 
  private:
   Deps deps_;

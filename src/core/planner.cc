@@ -2,12 +2,56 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/timer.h"
 #include "pattern/minimize.h"
 #include "selection/heuristic_selector.h"
 #include "selection/minimum_selector.h"
 
 namespace xvr {
+namespace {
+
+// The exhaustive set-cover phase degrades to the greedy heuristic when it
+// — and only it — ran out of room: its deadline slice expired while the
+// call's own deadline has time left, or the DP's bitmask universe
+// overflowed (RESOURCE_EXHAUSTED). A call-wide deadline expiry or a
+// cancellation propagates as the failure it is.
+bool ShouldDegradeExhaustive(const Status& status, const QueryLimits& limits) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return true;
+  }
+  return status.code() == StatusCode::kDeadlineExceeded &&
+         !limits.deadline.Expired();
+}
+
+// Slice the call deadline for the exhaustive phase (see QueryLimits).
+QueryLimits ExhaustiveLimits(const QueryLimits& limits) {
+  QueryLimits sliced = limits;
+  sliced.deadline =
+      limits.deadline.SliceMicros(limits.exhaustive_selection_slice_micros);
+  return sliced;
+}
+
+// Degraded stand-in for a poisoned VFILTER: every view is a candidate and
+// every per-path list carries every view (length 0 — no ordering signal).
+// Sound because the filter is a pure optimization: selection still computes
+// real leaf covers, so false candidates are rejected there.
+FilterResult UnfilteredFallback(const TreePattern& query,
+                                std::vector<int32_t> ids) {
+  FilterResult result;
+  result.decomposition = Decompose(query);
+  result.candidates = std::move(ids);
+  result.lists.resize(result.decomposition.paths.size());
+  for (auto& list : result.lists) {
+    list.reserve(result.candidates.size());
+    for (int32_t id : result.candidates) {
+      list.push_back(ViewLengthEntry{id, 0});
+    }
+  }
+  return result;
+}
+
+}  // namespace
 
 const char* AnswerStrategyName(AnswerStrategy strategy) {
   switch (strategy) {
@@ -34,15 +78,37 @@ Planner::Planner(PlannerCatalog catalog) : catalog_(std::move(catalog)) {}
 Result<SelectionResult> Planner::Select(const TreePattern& query,
                                         AnswerStrategy strategy,
                                         AnswerStats* stats,
-                                        NfaReadScratch* scratch) const {
+                                        NfaReadScratch* scratch,
+                                        const QueryLimits& limits) const {
   WallTimer timer;
   switch (strategy) {
     case AnswerStrategy::kMinimumNoFilter: {
       const std::vector<int32_t> ids = catalog_.view_ids();
       Result<SelectionResult> selection =
-          SelectMinimum(query, ids, catalog_.lookup, catalog_.is_partial);
+          SelectMinimum(query, ids, catalog_.lookup, catalog_.is_partial,
+                        ExhaustiveLimits(limits));
       stats->selection_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = ids.size();
+      if (!selection.ok() &&
+          ShouldDegradeExhaustive(selection.status(), limits)) {
+        // Degrade to the greedy heuristic. It consumes per-path candidate
+        // lists, so run VFILTER now — sound even for MN, since every
+        // catalog view is indexed and filtering only removes views that
+        // could not cover the query anyway.
+        stats->degraded_selection = true;
+        timer.Restart();
+        FilterResult filtered;
+        XVR_ASSIGN_OR_RETURN(
+            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+        stats->filter_micros = timer.ElapsedMicros();
+        stats->candidates_after_filter = filtered.candidates.size();
+        timer.Restart();
+        HeuristicOptions options;
+        options.is_partial = catalog_.is_partial;
+        options.limits = limits;
+        selection = SelectHeuristic(query, filtered, catalog_.lookup, options);
+        stats->selection_micros += timer.ElapsedMicros();
+      }
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
         stats->views_selected = selection->views.size();
@@ -50,13 +116,31 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
       return selection;
     }
     case AnswerStrategy::kMinimumFiltered: {
-      FilterResult filtered = catalog_.vfilter->Filter(query, scratch);
+      bool filter_poisoned = false;
+      XVR_FAULT_POINT("planner.filter", filter_poisoned = true);
+      FilterResult filtered;
+      if (filter_poisoned) {
+        // Fault-injected VFILTER outage: plan over the whole catalog.
+        stats->degraded_unfiltered = true;
+        filtered = UnfilteredFallback(query, catalog_.view_ids());
+      } else {
+        XVR_ASSIGN_OR_RETURN(
+            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+      }
       stats->filter_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = filtered.candidates.size();
       timer.Restart();
       Result<SelectionResult> selection =
           SelectMinimum(query, filtered.candidates, catalog_.lookup,
-                        catalog_.is_partial);
+                        catalog_.is_partial, ExhaustiveLimits(limits));
+      if (!selection.ok() &&
+          ShouldDegradeExhaustive(selection.status(), limits)) {
+        stats->degraded_selection = true;
+        HeuristicOptions options;
+        options.is_partial = catalog_.is_partial;
+        options.limits = limits;
+        selection = SelectHeuristic(query, filtered, catalog_.lookup, options);
+      }
       stats->selection_micros = timer.ElapsedMicros();
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
@@ -66,12 +150,22 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
     }
     case AnswerStrategy::kHeuristicFiltered:
     case AnswerStrategy::kHeuristicSmallFragments: {
-      FilterResult filtered = catalog_.vfilter->Filter(query, scratch);
+      bool filter_poisoned = false;
+      XVR_FAULT_POINT("planner.filter", filter_poisoned = true);
+      FilterResult filtered;
+      if (filter_poisoned) {
+        stats->degraded_unfiltered = true;
+        filtered = UnfilteredFallback(query, catalog_.view_ids());
+      } else {
+        XVR_ASSIGN_OR_RETURN(
+            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+      }
       stats->filter_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = filtered.candidates.size();
       timer.Restart();
       HeuristicOptions options;
       options.is_partial = catalog_.is_partial;
+      options.limits = limits;
       if (strategy == AnswerStrategy::kHeuristicSmallFragments) {
         options.order = HeuristicOptions::Order::kFragmentBytes;
         options.view_bytes = catalog_.view_bytes;
@@ -97,7 +191,8 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
 Result<QueryPlan> Planner::BuildPlan(const TreePattern& query,
                                      AnswerStrategy strategy,
                                      uint64_t catalog_version,
-                                     NfaReadScratch* scratch) const {
+                                     NfaReadScratch* scratch,
+                                     const QueryLimits& limits) const {
   QueryPlan plan;
   plan.query = query;
   plan.strategy = strategy;
@@ -117,7 +212,9 @@ Result<QueryPlan> Planner::BuildPlan(const TreePattern& query,
   plan.uses_views = true;
   XVR_ASSIGN_OR_RETURN(
       plan.selection,
-      Select(plan.query, strategy, &plan.plan_stats, scratch));
+      Select(plan.query, strategy, &plan.plan_stats, scratch, limits));
+  plan.degraded = plan.plan_stats.degraded_selection ||
+                  plan.plan_stats.degraded_unfiltered;
   return plan;
 }
 

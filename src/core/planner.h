@@ -76,6 +76,14 @@ struct AnswerStats {
   // filter/selection timings then report the original planning cost, not
   // time spent on this call.
   bool plan_cache_hit = false;
+  // Degradations that fired while planning. `degraded_selection`: exhaustive
+  // minimum-set selection overran its deadline slice (or blew the DP's
+  // 20-bit universe) and the planner fell back to the greedy heuristic —
+  // the answer is still correct, just possibly over more views.
+  // `degraded_unfiltered`: VFILTER was unavailable (fault-injected) and
+  // selection ran over the full catalog instead of the candidate set.
+  bool degraded_selection = false;
+  bool degraded_unfiltered = false;
   RewriteStats rewrite;
 };
 
@@ -96,6 +104,11 @@ struct QueryPlan {
 
   // Planning-phase stats (filter/selection timings, candidate counts).
   AnswerStats plan_stats;
+
+  // True when any degradation fired while planning. Degraded plans are
+  // never inserted into the PlanCache: a plan degraded under one call's
+  // deadline must not be served to later calls with ample time.
+  bool degraded = false;
 
   // The catalog version the plan was built against (cache invalidation).
   uint64_t catalog_version = 0;
@@ -124,16 +137,25 @@ class Planner {
   // Runs VFILTER + view selection for `query` exactly as given (no
   // minimization — the cover node indices in the result refer to the
   // caller's pattern). Base strategies are INVALID_ARGUMENT.
+  //
+  // `limits` governs planning: the deadline/cancel token are honored inside
+  // filtering and selection, and exhaustive minimum-set selection (MN/MV)
+  // runs under limits.exhaustive_selection_slice_micros — when only that
+  // slice expires (or the set-cover DP's universe overflows), the planner
+  // *degrades* to the greedy heuristic over the same candidates and records
+  // it in stats->degraded_selection rather than failing the query.
   Result<SelectionResult> Select(const TreePattern& query,
                                  AnswerStrategy strategy, AnswerStats* stats,
-                                 NfaReadScratch* scratch) const;
+                                 NfaReadScratch* scratch,
+                                 const QueryLimits& limits = QueryLimits()) const;
 
   // Builds a complete plan: minimizes (when configured), classifies the
   // strategy and, for view strategies, selects the view set.
   Result<QueryPlan> BuildPlan(const TreePattern& query,
                               AnswerStrategy strategy,
                               uint64_t catalog_version,
-                              NfaReadScratch* scratch) const;
+                              NfaReadScratch* scratch,
+                              const QueryLimits& limits = QueryLimits()) const;
 
  private:
   PlannerCatalog catalog_;

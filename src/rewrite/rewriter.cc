@@ -157,6 +157,8 @@ Status AnswerCore(
     return Status::InvalidArgument(
         "selection has no view covering the answer node");
   }
+  const QueryLimits& limits = options.limits;
+  InterruptTicker ticker(limits, /*stride=*/64);
   const Skeleton skeleton = BuildSkeleton(query, selection.views);
 
   // Phase 1: per view, refine fragments and enumerate skeleton signatures.
@@ -185,6 +187,7 @@ Status AnswerCore(
     }
 
     for (const Fragment& fragment : *fragments) {
+      XVR_RETURN_IF_ERROR(ticker.Tick("rewrite.refinement"));
       ++st->fragments_scanned;
       std::vector<LabelId> labels;
       if (!fst.Decode(fragment.root_code().components(), &labels)) {
@@ -222,6 +225,14 @@ Status AnswerCore(
         }
       }
       data.fragments.push_back(std::move(cf));
+      if (limits.max_join_fragments > 0 &&
+          data.fragments.size() > limits.max_join_fragments) {
+        return Status::ResourceExhausted(
+            "view " + std::to_string(sel.view_id) + " feeds more than " +
+            std::to_string(limits.max_join_fragments) +
+            " refined fragments into the join (" +
+            std::to_string(st->fragments_scanned) + " fragments scanned)");
+      }
     }
     if (data.fragments.empty()) {
       return Status::Ok();  // some view has no usable fragment -> empty
@@ -247,7 +258,10 @@ Status AnswerCore(
       query, selection.views[static_cast<size_t>(primary)].cover.mapped_answer);
 
   GlobalBinding binding;
+  size_t emitted = 0;
   for (const CandidateFragment& cf : primary_data.fragments) {
+    // One primary fragment is one Satisfiable() search; check per fragment.
+    XVR_RETURN_IF_ERROR(CheckInterrupted(limits, "rewrite.join"));
     bool supported = false;
     for (const Signature& sig : cf.signatures) {
       binding.clear();
@@ -264,6 +278,13 @@ Status AnswerCore(
     ++st->join_survivors;
     // Phase 3: extraction.
     for (int32_t node : cf.fragment->EvaluateAnchored(extraction)) {
+      if (limits.max_result_codes > 0 && emitted >= limits.max_result_codes) {
+        return Status::ResourceExhausted(
+            "answer exceeds the result budget of " +
+            std::to_string(limits.max_result_codes) + " codes (" +
+            std::to_string(st->join_survivors) + " join survivors so far)");
+      }
+      ++emitted;
       emit(cf.fragment->AbsoluteCode(node), *cf.fragment, node);
     }
   }

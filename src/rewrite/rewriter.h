@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "pattern/tree_pattern.h"
 #include "selection/answerability.h"
@@ -39,6 +40,13 @@ struct RewriteOptions {
   // Cap on path-match assignments enumerated per fragment (ambiguous //
   // paths); 0 = unlimited.
   size_t max_assignments_per_fragment = 256;
+  // Deadline/cancellation (checked inside the refinement and join loops)
+  // and resource budgets: limits.max_join_fragments bounds how many refined
+  // fragments a single view may feed the holistic join, and
+  // limits.max_result_codes bounds the answer cardinality. Blown budgets
+  // return RESOURCE_EXHAUSTED with the work done so far accounted in
+  // RewriteStats.
+  QueryLimits limits;
 };
 
 // Answers `query` from materialized fragments only. `fst` must be the

@@ -61,8 +61,13 @@ Result<SelectionResult> SelectHeuristic(const TreePattern& query,
   uint64_t uncovered = universe.full_mask;
   std::unordered_set<int32_t> selected_ids;
 
+  // Each candidate probe may compute a cover (a homomorphism search);
+  // check the deadline every few probes.
+  InterruptTicker ticker(options.limits, /*stride=*/16);
   const uint64_t leaf_bits = universe.answer_bit() - 1;
   while ((uncovered & leaf_bits) != 0) {
+    XVR_RETURN_IF_ERROR(
+        CheckInterrupted(options.limits, "selection.heuristic"));
     // Pick an uncovered leaf (randomly when an RNG is supplied).
     std::vector<int> open;
     for (size_t i = 0; i < universe.leaves.size(); ++i) {
@@ -89,6 +94,7 @@ Result<SelectionResult> SelectHeuristic(const TreePattern& query,
     bool covered = false;
     for (const ViewLengthEntry& entry :
          ordered_list(filtered.lists[static_cast<size_t>(path_index)])) {
+      XVR_RETURN_IF_ERROR(ticker.Tick("selection.heuristic"));
       if (selected_ids.count(entry.view_id) > 0) {
         continue;  // already selected; its cover is already applied
       }
@@ -126,6 +132,7 @@ Result<SelectionResult> SelectHeuristic(const TreePattern& query,
     all = ordered_list(all);
     bool covered = false;
     for (const ViewLengthEntry& entry : all) {
+      XVR_RETURN_IF_ERROR(ticker.Tick("selection.heuristic"));
       if (selected_ids.count(entry.view_id) > 0) {
         continue;
       }

@@ -12,6 +12,7 @@
 // minimal (not necessarily minimum) view set: a final pass removes
 // redundant selections.
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "pattern/tree_pattern.h"
@@ -35,6 +36,10 @@ struct HeuristicOptions {
   Rng* rng = nullptr;
   // Marks codes-only views (§VII partial materialization extension).
   PartialLookup is_partial;
+  // Deadline / cancellation, honored between cover computations. The greedy
+  // walk is near-linear, so unlike SelectMinimum there is no budget to blow
+  // — only the deadline and the cancel token apply.
+  QueryLimits limits;
 };
 
 // `filtered` must come from VFilter::Filter(query) (or a compatible

@@ -8,12 +8,19 @@ namespace xvr {
 
 Result<SelectionResult> SelectMinimum(
     const TreePattern& query, const std::vector<int32_t>& candidate_ids,
-    const ViewLookup& lookup, const PartialLookup& is_partial) {
+    const ViewLookup& lookup, const PartialLookup& is_partial,
+    const QueryLimits& limits) {
   LeafUniverse universe(query);
   // The DP tables are O(2^|LF|); 20 bits (~1M states) is far beyond any
-  // realistic query while keeping the tables at a few MB.
-  XVR_CHECK(universe.leaves.size() + 1 <= 20)
-      << "query leaf universe too large for exact set cover";
+  // realistic query while keeping the tables at a few MB. Larger universes
+  // are a budget failure the planner degrades to the greedy heuristic, not
+  // a crash.
+  if (universe.leaves.size() + 1 > 20) {
+    return Status::ResourceExhausted(
+        "query leaf universe of " +
+        std::to_string(universe.leaves.size() + 1) +
+        " bits is too large for exact set cover (max 20)");
+  }
 
   SelectionResult result;
   struct Entry {
@@ -21,8 +28,11 @@ Result<SelectionResult> SelectMinimum(
     LeafCover cover;
     uint64_t mask;
   };
+  // Covers are the expensive homomorphism step; check every few candidates.
+  InterruptTicker cover_ticker(limits, /*stride=*/16);
   std::vector<Entry> entries;
   for (int32_t id : candidate_ids) {
+    XVR_RETURN_IF_ERROR(cover_ticker.Tick("selection.covers"));
     const TreePattern* view = lookup(id);
     if (view == nullptr) {
       continue;
@@ -47,7 +57,9 @@ Result<SelectionResult> SelectMinimum(
   std::vector<int32_t> via_entry(full + 1, -1);
   std::vector<uint64_t> via_prev(full + 1, 0);
   best[0] = 0;
+  InterruptTicker dp_ticker(limits, /*stride=*/4096);
   for (uint64_t mask = 0; mask <= full; ++mask) {
+    XVR_RETURN_IF_ERROR(dp_ticker.Tick("selection.set_cover_dp"));
     if (best[mask] == kInf) {
       continue;
     }

@@ -11,6 +11,7 @@
 // over subsets of LF(Q) — O(n · 2^|LF|) — replaces the naive O(2^n)
 // subset enumeration without changing the result.
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "pattern/tree_pattern.h"
 #include "selection/answerability.h"
@@ -20,9 +21,17 @@ namespace xvr {
 // `candidate_ids`: the views to consider (all views for MN, the VFILTER
 // output for MV). Returns NOT_ANSWERABLE when no subset covers LF(Q).
 // `is_partial` marks codes-only views (see selection/leaf_cover.h).
+//
+// Exhaustive selection is the one exponential phase of the pipeline, so it
+// is fully interruptible: `limits.deadline` is honored between cover
+// computations and every few thousand DP states (DEADLINE_EXCEEDED /
+// CANCELLED), and a query whose leaf universe exceeds the DP's 20-bit
+// capacity returns RESOURCE_EXHAUSTED instead of aborting. Callers degrade
+// both to the greedy heuristic (see core/planner.cc).
 Result<SelectionResult> SelectMinimum(
     const TreePattern& query, const std::vector<int32_t>& candidate_ids,
-    const ViewLookup& lookup, const PartialLookup& is_partial = nullptr);
+    const ViewLookup& lookup, const PartialLookup& is_partial = nullptr,
+    const QueryLimits& limits = QueryLimits());
 
 }  // namespace xvr
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace xvr {
@@ -123,29 +126,69 @@ Status FragmentStore::SaveTo(KvStore* kv) const {
 }
 
 Status FragmentStore::LoadFrom(const KvStore& kv) {
+  return LoadFromImpl(kv, /*quarantined=*/nullptr);
+}
+
+Status FragmentStore::LoadFrom(const KvStore& kv,
+                               std::vector<int32_t>* quarantined) {
+  XVR_CHECK(quarantined != nullptr);
+  quarantined->clear();
+  return LoadFromImpl(kv, quarantined);
+}
+
+Status FragmentStore::LoadFromImpl(const KvStore& kv,
+                                   std::vector<int32_t>* quarantined) {
   views_.clear();
   {
     MutexLock lock(&byte_size_mu_);
     byte_size_memo_.clear();
   }
+  // Views already seen to be corrupt; later fragments of the same view are
+  // skipped without re-reporting.
+  std::unordered_set<int32_t> bad_views;
   Status status = Status::Ok();
   kv.ScanPrefix("frag/", [&](const std::string& key,
                              const std::string& value) {
     // key = frag/<view>/<seq>
     const std::vector<std::string> parts = Split(key, '/');
     if (parts.size() != 3) {
+      if (quarantined != nullptr) {
+        // Garbage we cannot attribute to a view: skip it and keep loading.
+        XVR_LOG(WARNING) << "skipping malformed fragment key " << key;
+        return true;
+      }
       status = Status::ParseError("malformed fragment key " + key);
       return false;
     }
     const int32_t view_id = static_cast<int32_t>(std::atoi(parts[1].c_str()));
+    if (bad_views.count(view_id) != 0) {
+      return true;
+    }
     Result<Fragment> fragment = Fragment::Deserialize(value);
+    XVR_FAULT_POINT(
+        "fragment_store.load",
+        fragment = Status::ParseError("injected: fragment_store.load"));
     if (!fragment.ok()) {
+      if (quarantined != nullptr) {
+        // Quarantine: drop everything from this view and keep loading the
+        // rest of the store.
+        XVR_LOG(WARNING) << "quarantining view " << view_id
+                         << ": corrupt fragment " << key << " ("
+                         << fragment.status().message() << ")";
+        bad_views.insert(view_id);
+        quarantined->push_back(view_id);
+        views_.erase(view_id);
+        return true;
+      }
       status = fragment.status();
       return false;
     }
     views_[view_id].push_back(std::move(fragment).value());
     return true;
   });
+  if (quarantined != nullptr) {
+    std::sort(quarantined->begin(), quarantined->end());
+  }
   // Keys scan in order, so per-view fragments are already Dewey-sorted only
   // if sequence order matched; re-sort to be safe. Per-view work, order of
   // iteration does not reach the output.  // lint:ordered-ok

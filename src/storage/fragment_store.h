@@ -59,7 +59,17 @@ class FragmentStore {
   Status SaveTo(KvStore* kv) const;
   Status LoadFrom(const KvStore& kv);
 
+  // Fault-tolerant load: a view with any corrupt fragment is *quarantined*
+  // — none of its fragments are installed, its id is appended to
+  // `quarantined` (sorted, deduplicated), and loading continues with the
+  // remaining views instead of failing the whole store. Unattributable
+  // garbage under the "frag/" prefix (malformed keys) is skipped the same
+  // way. `quarantined` must be non-null.
+  Status LoadFrom(const KvStore& kv, std::vector<int32_t>* quarantined);
+
  private:
+  Status LoadFromImpl(const KvStore& kv, std::vector<int32_t>* quarantined);
+
   std::unordered_map<int32_t, std::vector<Fragment>> views_;
   // view_id -> serialized size of its fragments, filled on first use.
   mutable Mutex byte_size_mu_;

@@ -1,28 +1,29 @@
 #include "storage/kv_store.h"
 
 #include <cstring>
-#include <fstream>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/hash.h"
 
 namespace xvr {
 namespace {
 
-constexpr uint32_t kMagic = 0x584B5653;  // "XKVS"
+constexpr uint64_t kMagic = 0x584B5653;  // "XKVS"
 
-uint64_t Fnv1a(const std::string& data, uint64_t h) {
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 1099511628211ULL;
+void PutU64(uint64_t v, std::string* out) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+bool ReadU64(const std::string& bytes, size_t* pos, uint64_t* v) {
+  if (*pos + sizeof(*v) > bytes.size()) {
+    return false;
   }
-  return h;
-}
-
-void PutU64(uint64_t v, std::ofstream* out) {
-  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU64(std::ifstream* in, uint64_t* v) {
-  in->read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(*in);
+  std::memcpy(v, bytes.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
 }
 
 }  // namespace
@@ -80,73 +81,79 @@ size_t KvStore::DeletePrefix(const std::string& prefix) {
   return removed;
 }
 
-Status KvStore::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+std::string KvStore::Serialize() const {
+  std::string out;
+  out.reserve(byte_size_ + 24 + map_.size() * 16);
   PutU64(kMagic, &out);
   PutU64(map_.size(), &out);
-  uint64_t checksum = 1469598103934665603ULL;
+  uint64_t checksum = kFnv1aOffset;
   for (const auto& [key, value] : map_) {
     PutU64(key.size(), &out);
-    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.append(key);
     PutU64(value.size(), &out);
-    out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    out.append(value);
     checksum = Fnv1a(key, checksum);
     checksum = Fnv1a(value, checksum);
   }
   PutU64(checksum, &out);
-  if (!out) {
-    return Status::IoError("write failure on " + path);
-  }
-  return Status::Ok();
+  return out;
 }
 
-Status KvStore::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open " + path);
-  }
-  in.seekg(0, std::ios::end);
-  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
-  in.seekg(0, std::ios::beg);
+Status KvStore::Deserialize(const std::string& bytes) {
+  XVR_FAULT_POINT("kv_store.load",
+                  return Status::IoError("injected: kv_store.load"));
+  size_t pos = 0;
   uint64_t magic = 0;
   uint64_t count = 0;
-  if (!ReadU64(&in, &magic) || magic != kMagic || !ReadU64(&in, &count)) {
-    return Status::ParseError("bad KvStore image header in " + path);
+  if (!ReadU64(bytes, &pos, &magic) || magic != kMagic ||
+      !ReadU64(bytes, &pos, &count)) {
+    return Status::ParseError("bad KvStore image header");
   }
   std::map<std::string, std::string> loaded;
-  size_t bytes = 0;
-  uint64_t checksum = 1469598103934665603ULL;
+  size_t total = 0;
+  uint64_t checksum = kFnv1aOffset;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t klen = 0;
     uint64_t vlen = 0;
-    if (!ReadU64(&in, &klen) || klen > file_size) {
-      return Status::ParseError("truncated KvStore image (key length)");
+    if (!ReadU64(bytes, &pos, &klen) || klen > bytes.size() - pos) {
+      return Status::ParseError("truncated KvStore image (key)");
     }
-    std::string key(klen, '\0');
-    in.read(key.data(), static_cast<std::streamsize>(klen));
-    if (!ReadU64(&in, &vlen) || vlen > file_size) {
-      return Status::ParseError("truncated KvStore image (value length)");
+    std::string key(bytes.data() + pos, klen);
+    pos += klen;
+    if (!ReadU64(bytes, &pos, &vlen) || vlen > bytes.size() - pos) {
+      return Status::ParseError("truncated KvStore image (value)");
     }
-    std::string value(vlen, '\0');
-    in.read(value.data(), static_cast<std::streamsize>(vlen));
-    if (!in) {
-      return Status::ParseError("truncated KvStore image (payload)");
-    }
+    std::string value(bytes.data() + pos, vlen);
+    pos += vlen;
     checksum = Fnv1a(key, checksum);
     checksum = Fnv1a(value, checksum);
-    bytes += key.size() + value.size();
+    total += key.size() + value.size();
     loaded.emplace(std::move(key), std::move(value));
   }
   uint64_t want = 0;
-  if (!ReadU64(&in, &want) || want != checksum) {
-    return Status::ParseError("KvStore image checksum mismatch in " + path);
+  if (!ReadU64(bytes, &pos, &want) || want != checksum) {
+    return Status::ParseError("KvStore image checksum mismatch");
   }
   map_ = std::move(loaded);
-  byte_size_ = bytes;
+  byte_size_ = total;
   return Status::Ok();
+}
+
+Status KvStore::SaveToFile(const std::string& path) const {
+  XVR_FAULT_POINT("kv_store.save",
+                  return Status::IoError("injected: kv_store.save"));
+  return WriteFileAtomic(path, Serialize());
+}
+
+Status KvStore::LoadFromFile(const std::string& path) {
+  std::string bytes;
+  XVR_ASSIGN_OR_RETURN(bytes, ReadFileToString(path));
+  Status status = Deserialize(bytes);
+  if (!status.ok() && status.code() == StatusCode::kParseError) {
+    return Status(StatusCode::kParseError,
+                  status.message() + " in " + path);
+  }
+  return status;
 }
 
 }  // namespace xvr

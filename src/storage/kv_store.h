@@ -42,7 +42,13 @@ class KvStore {
   // Total bytes of keys + values (the "database size" metric).
   size_t ByteSize() const { return byte_size_; }
 
-  // Persistence: a little-endian image with a FNV-1a checksum.
+  // Persistence: a little-endian image with a FNV-1a checksum. The byte
+  // image is exposed directly (Serialize/Deserialize) so corruption tests
+  // and in-memory transports can bypass the filesystem; the file variants
+  // add crash safety (SaveToFile goes through write-temp-then-rename, so a
+  // crash mid-save never leaves a torn image at `path`).
+  std::string Serialize() const;
+  Status Deserialize(const std::string& bytes);
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 

@@ -1,5 +1,6 @@
 #include "storage/materializer.h"
 
+#include "common/fault_injection.h"
 #include "pattern/evaluate.h"
 
 namespace xvr {
@@ -7,6 +8,9 @@ namespace xvr {
 Result<std::vector<Fragment>> MaterializeView(
     const TreePattern& view, const XmlTree& tree,
     const MaterializeOptions& options) {
+  XVR_FAULT_POINT("materializer.capacity",
+                  return Status::CapacityExceeded(
+                      "injected: materializer.capacity"));
   const std::vector<NodeId> answers =
       options.evaluate ? options.evaluate(view, tree)
                        : EvaluatePattern(view, tree);

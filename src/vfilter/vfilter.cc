@@ -94,6 +94,14 @@ int32_t VFilter::NumPathsOf(int32_t view_id) const {
 
 FilterResult VFilter::Filter(const TreePattern& query,
                              NfaReadScratch* scratch) const {
+  Result<FilterResult> result = Filter(query, scratch, QueryLimits());
+  XVR_CHECK(result.ok());  // default limits can never fail
+  return std::move(result).value();
+}
+
+Result<FilterResult> VFilter::Filter(const TreePattern& query,
+                                     NfaReadScratch* scratch,
+                                     const QueryLimits& limits) const {
   FilterResult result;
   result.decomposition = Decompose(query);
   const size_t num_query_paths = result.decomposition.paths.size();
@@ -111,6 +119,9 @@ FilterResult VFilter::Filter(const TreePattern& query,
 
   std::vector<const AcceptEntry*> hits;
   for (size_t i = 0; i < num_query_paths; ++i) {
+    // One NFA read is bounded work; checking between paths keeps the worst
+    // overrun to a single path read.
+    XVR_RETURN_IF_ERROR(CheckInterrupted(limits, "vfilter.filter"));
     const PathPattern& raw = result.decomposition.paths[i];
     // Read the normalized string (catches the Example 3.2 equivalences) and
     // also the raw string when it differs: a view path can match the raw
@@ -178,6 +189,13 @@ FilterResult VFilter::Filter(const TreePattern& query,
     }
   }
   std::sort(result.candidates.begin(), result.candidates.end());
+  if (limits.max_candidates > 0 &&
+      result.candidates.size() > limits.max_candidates) {
+    return Status::ResourceExhausted(
+        "candidate set has " + std::to_string(result.candidates.size()) +
+        " views, over the budget of " +
+        std::to_string(limits.max_candidates));
+  }
 
   // Build LIST(P_i): drop non-candidates, sort by length descending (ties by
   // view id for determinism).

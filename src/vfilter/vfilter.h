@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "pattern/path_pattern.h"
 #include "pattern/tree_pattern.h"
 #include "vfilter/nfa.h"
@@ -81,6 +83,13 @@ class VFilter {
     NfaReadScratch scratch;
     return Filter(query, &scratch);
   }
+
+  // Limit-aware variant: honors the deadline/cancel token between query
+  // paths (each path is one bounded NFA read) and the candidate-set budget
+  // at the end. Fails with DEADLINE_EXCEEDED / CANCELLED / RESOURCE_EXHAUSTED
+  // accordingly; with default limits it never fails.
+  Result<FilterResult> Filter(const TreePattern& query, NfaReadScratch* scratch,
+                              const QueryLimits& limits) const;
 
   // --- statistics -----------------------------------------------------------
 

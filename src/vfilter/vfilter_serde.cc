@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/hash.h"
+
 namespace xvr {
 namespace {
 
@@ -21,12 +24,22 @@ SortedEntries(const Map& map) {
 }
 
 constexpr uint32_t kMagic = 0x56464C54;  // "VFLT"
-constexpr uint32_t kVersion = 3;
+// v4 adds payload-length framing and a trailing FNV-1a checksum (matching
+// the KvStore image discipline); v3 images (unframed, no checksum) are
+// still readable.
+constexpr uint32_t kVersion = 4;
+constexpr uint32_t kLegacyVersion = 3;
 
 void PutU32(uint32_t v, std::string* out) {
   char buf[4];
   std::memcpy(buf, &v, 4);
   out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
 }
 
 void PutI32(int32_t v, std::string* out) {
@@ -42,12 +55,18 @@ void PutIdList(const std::vector<StateId>& ids, std::string* out) {
 
 class Reader {
  public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
 
   bool ReadU32(uint32_t* v) {
     if (pos_ + 4 > bytes_.size()) return false;
     std::memcpy(v, bytes_.data() + pos_, 4);
     pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
     return true;
   }
   bool ReadI32(int32_t* v) {
@@ -75,73 +94,15 @@ class Reader {
   }
 
  private:
-  const std::string& bytes_;
+  std::string_view bytes_;
   size_t pos_ = 0;
 };
 
-}  // namespace
-
-std::string SerializeVFilter(const VFilter& filter) {
-  std::string out;
-  PutU32(kMagic, &out);
-  PutU32(kVersion, &out);
-  const VFilterOptions& opt = filter.options();
-  PutU32((opt.normalize ? 1u : 0u) | (opt.share_prefixes ? 2u : 0u) |
-             (opt.counter_mode ? 4u : 0u) |
-             (opt.index_attributes ? 8u : 0u),
-         &out);
-  // Pred dictionary (attribute extension).
-  PutU32(static_cast<uint32_t>(filter.pred_ids().size()), &out);
-  for (const auto& [key, id] : SortedEntries(filter.pred_ids())) {
-    PutU32(static_cast<uint32_t>(key.size()), &out);
-    out.append(key);
-    PutI32(id, &out);
-  }
-  // View registry.
-  PutU32(static_cast<uint32_t>(filter.view_path_counts().size()), &out);
-  for (const auto& [view_id, num_paths] :
-       SortedEntries(filter.view_path_counts())) {
-    PutI32(view_id, &out);
-    PutI32(num_paths, &out);
-  }
-  // States.
-  const auto& states = filter.nfa().states();
-  PutU32(static_cast<uint32_t>(states.size()), &out);
-  for (const auto& s : states) {
-    PutU32((s.is_loop ? 1u : 0u) | (s.is_accepting ? 2u : 0u), &out);
-    PutIdList(s.star_trans, &out);
-    PutIdList(s.loop_states, &out);
-    PutU32(static_cast<uint32_t>(s.label_trans.size()), &out);
-    for (const auto& [label, targets] : SortedEntries(s.label_trans)) {
-      PutI32(label, &out);
-      PutIdList(targets, &out);
-    }
-    PutU32(static_cast<uint32_t>(s.pred_trans.size()), &out);
-    for (const auto& [token, targets] : SortedEntries(s.pred_trans)) {
-      PutI32(token, &out);
-      PutIdList(targets, &out);
-    }
-    PutU32(static_cast<uint32_t>(s.accepts.size()), &out);
-    for (const AcceptEntry& e : s.accepts) {
-      PutI32(e.view_id, &out);
-      PutI32(e.path_id, &out);
-      PutI32(e.length, &out);
-    }
-  }
-  return out;
-}
-
-Result<VFilter> DeserializeVFilter(const std::string& bytes) {
-  Reader r(bytes);
-  uint32_t magic = 0;
-  uint32_t version = 0;
+// The image body (everything after magic/version and, in v4, the payload
+// framing): options flags, pred dictionary, view registry, NFA states.
+Result<VFilter> ParseVFilterBody(std::string_view payload) {
+  Reader r(payload);
   uint32_t flags = 0;
-  if (!r.ReadU32(&magic) || magic != kMagic) {
-    return Status::ParseError("bad VFilter image magic");
-  }
-  if (!r.ReadU32(&version) || version != kVersion) {
-    return Status::ParseError("unsupported VFilter image version");
-  }
   if (!r.ReadU32(&flags)) {
     return Status::ParseError("truncated VFilter image");
   }
@@ -153,7 +114,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
   VFilter filter(options);
 
   uint32_t num_preds = 0;
-  if (!r.ReadU32(&num_preds) || num_preds > bytes.size()) {
+  if (!r.ReadU32(&num_preds) || num_preds > payload.size()) {
     return Status::ParseError("truncated VFilter image (pred dictionary)");
   }
   for (uint32_t i = 0; i < num_preds; ++i) {
@@ -173,7 +134,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
   }
 
   uint32_t num_views = 0;
-  if (!r.ReadU32(&num_views) || num_views > bytes.size() / 8) {
+  if (!r.ReadU32(&num_views) || num_views > payload.size() / 8) {
     return Status::ParseError("truncated VFilter image (views)");
   }
   for (uint32_t i = 0; i < num_views; ++i) {
@@ -186,7 +147,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
   }
 
   uint32_t num_states = 0;
-  if (!r.ReadU32(&num_states) || num_states > bytes.size() / 8) {
+  if (!r.ReadU32(&num_states) || num_states > payload.size() / 8) {
     return Status::ParseError("truncated VFilter image (states)");
   }
   auto& states = filter.mutable_nfa().mutable_states();
@@ -203,7 +164,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
     }
     s.is_loop = (state_flags & 1u) != 0;
     s.is_accepting = (state_flags & 2u) != 0;
-    if (num_trans > bytes.size() / 8) {
+    if (num_trans > payload.size() / 8) {
       return Status::ParseError("corrupt VFilter image (transition count)");
     }
     for (uint32_t t = 0; t < num_trans; ++t) {
@@ -215,7 +176,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
       s.label_trans.emplace(label, std::move(targets));
     }
     uint32_t num_pred_trans = 0;
-    if (!r.ReadU32(&num_pred_trans) || num_pred_trans > bytes.size() / 8) {
+    if (!r.ReadU32(&num_pred_trans) || num_pred_trans > payload.size() / 8) {
       return Status::ParseError("truncated VFilter image (pred trans count)");
     }
     for (uint32_t t = 0; t < num_pred_trans; ++t) {
@@ -226,7 +187,7 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
       }
       s.pred_trans.emplace(token, std::move(targets));
     }
-    if (!r.ReadU32(&num_accepts) || num_accepts > bytes.size() / 12) {
+    if (!r.ReadU32(&num_accepts) || num_accepts > payload.size() / 12) {
       return Status::ParseError("truncated VFilter image (accepts)");
     }
     for (uint32_t a = 0; a < num_accepts; ++a) {
@@ -265,6 +226,96 @@ Result<VFilter> DeserializeVFilter(const std::string& bytes) {
     }
   }
   return filter;
+}
+
+}  // namespace
+
+std::string SerializeVFilter(const VFilter& filter) {
+  std::string payload;
+  const VFilterOptions& opt = filter.options();
+  PutU32((opt.normalize ? 1u : 0u) | (opt.share_prefixes ? 2u : 0u) |
+             (opt.counter_mode ? 4u : 0u) |
+             (opt.index_attributes ? 8u : 0u),
+         &payload);
+  // Pred dictionary (attribute extension).
+  PutU32(static_cast<uint32_t>(filter.pred_ids().size()), &payload);
+  for (const auto& [key, id] : SortedEntries(filter.pred_ids())) {
+    PutU32(static_cast<uint32_t>(key.size()), &payload);
+    payload.append(key);
+    PutI32(id, &payload);
+  }
+  // View registry.
+  PutU32(static_cast<uint32_t>(filter.view_path_counts().size()), &payload);
+  for (const auto& [view_id, num_paths] :
+       SortedEntries(filter.view_path_counts())) {
+    PutI32(view_id, &payload);
+    PutI32(num_paths, &payload);
+  }
+  // States.
+  const auto& states = filter.nfa().states();
+  PutU32(static_cast<uint32_t>(states.size()), &payload);
+  for (const auto& s : states) {
+    PutU32((s.is_loop ? 1u : 0u) | (s.is_accepting ? 2u : 0u), &payload);
+    PutIdList(s.star_trans, &payload);
+    PutIdList(s.loop_states, &payload);
+    PutU32(static_cast<uint32_t>(s.label_trans.size()), &payload);
+    for (const auto& [label, targets] : SortedEntries(s.label_trans)) {
+      PutI32(label, &payload);
+      PutIdList(targets, &payload);
+    }
+    PutU32(static_cast<uint32_t>(s.pred_trans.size()), &payload);
+    for (const auto& [token, targets] : SortedEntries(s.pred_trans)) {
+      PutI32(token, &payload);
+      PutIdList(targets, &payload);
+    }
+    PutU32(static_cast<uint32_t>(s.accepts.size()), &payload);
+    for (const AcceptEntry& e : s.accepts) {
+      PutI32(e.view_id, &payload);
+      PutI32(e.path_id, &payload);
+      PutI32(e.length, &payload);
+    }
+  }
+  // v4 frame: header, payload length, payload, FNV-1a of the payload.
+  std::string out;
+  out.reserve(payload.size() + 24);
+  PutU32(kMagic, &out);
+  PutU32(kVersion, &out);
+  PutU64(payload.size(), &out);
+  out += payload;
+  PutU64(Fnv1a(payload), &out);
+  return out;
+}
+
+Result<VFilter> DeserializeVFilter(const std::string& bytes) {
+  XVR_FAULT_POINT("vfilter_serde.decode",
+                  return Status::ParseError("injected: vfilter_serde.decode"));
+  Reader header(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!header.ReadU32(&magic) || magic != kMagic) {
+    return Status::ParseError("bad VFilter image magic");
+  }
+  if (!header.ReadU32(&version) ||
+      (version != kVersion && version != kLegacyVersion)) {
+    return Status::ParseError("unsupported VFilter image version");
+  }
+  if (version == kLegacyVersion) {
+    // v3: unframed, no checksum — the body runs to the end of the image.
+    return ParseVFilterBody(std::string_view(bytes).substr(8));
+  }
+  uint64_t payload_len = 0;
+  if (!header.ReadU64(&payload_len) ||
+      payload_len != bytes.size() - 24) {  // 8 header + 8 length + 8 checksum
+    return Status::ParseError("bad VFilter image framing (payload length)");
+  }
+  const std::string_view payload =
+      std::string_view(bytes).substr(16, payload_len);
+  uint64_t want = 0;
+  std::memcpy(&want, bytes.data() + 16 + payload_len, 8);
+  if (Fnv1a(payload) != want) {
+    return Status::ParseError("VFilter image checksum mismatch");
+  }
+  return ParseVFilterBody(payload);
 }
 
 size_t SerializedVFilterSize(const VFilter& filter) {

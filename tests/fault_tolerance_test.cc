@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/file_util.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "storage/kv_store.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deadline / CancelToken / QueryLimits primitives.
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMicros(), INT64_MAX);
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  const Deadline d = Deadline::AfterMicros(-1);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMicros(), 0);
+}
+
+TEST(DeadlineTest, SliceSemantics) {
+  const Deadline infinite;
+  // 0 = no slice.
+  EXPECT_TRUE(infinite.SliceMicros(0).infinite());
+  // < 0 = zero-width slice, expired even off an infinite deadline.
+  EXPECT_TRUE(infinite.SliceMicros(-1).Expired());
+  // > 0 bounds an infinite deadline.
+  const Deadline sliced = infinite.SliceMicros(10'000'000);
+  EXPECT_FALSE(sliced.infinite());
+  EXPECT_FALSE(sliced.Expired());
+  EXPECT_LE(sliced.RemainingMicros(), 10'000'000);
+  // Slicing never extends: a tight deadline stays tight.
+  const Deadline tight = Deadline::AfterMicros(-1);
+  EXPECT_TRUE(tight.SliceMicros(10'000'000).Expired());
+}
+
+TEST(DeadlineTest, CheckInterruptedReportsCause) {
+  QueryLimits limits;
+  EXPECT_TRUE(CheckInterrupted(limits, "here").ok());
+
+  limits.deadline = Deadline::AfterMicros(-1);
+  EXPECT_EQ(CheckInterrupted(limits, "here").code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Cancellation wins over an expired deadline.
+  CancelToken token;
+  token.Cancel();
+  limits.cancel = &token;
+  EXPECT_EQ(CheckInterrupted(limits, "here").code(), StatusCode::kCancelled);
+}
+
+TEST(DeadlineTest, InterruptTickerChecksOnStride) {
+  QueryLimits limits;
+  limits.deadline = Deadline::AfterMicros(-1);
+  InterruptTicker ticker(limits, /*stride=*/4);
+  // First call always checks; the next stride-1 calls are free.
+  EXPECT_FALSE(ticker.Tick("loop").ok());
+  EXPECT_TRUE(ticker.Tick("loop").ok());
+  EXPECT_TRUE(ticker.Tick("loop").ok());
+  EXPECT_TRUE(ticker.Tick("loop").ok());
+  EXPECT_FALSE(ticker.Tick("loop").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level limits. A small document with two independent view targets:
+// /r/s/p (two results) and /r/t/u (one result).
+
+constexpr AnswerStrategy kAllStrategies[] = {
+    AnswerStrategy::kBaseNodeIndex,       AnswerStrategy::kBaseFullIndex,
+    AnswerStrategy::kBaseTjfast,          AnswerStrategy::kMinimumNoFilter,
+    AnswerStrategy::kMinimumFiltered,     AnswerStrategy::kHeuristicFiltered,
+    AnswerStrategy::kHeuristicSmallFragments,
+};
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static XmlTree MakeDoc() {
+    auto r = ParseXml("<r><s><p/><q/></s><s><p/></s><t><u/></t></r>");
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+  FaultToleranceTest() : engine_(MakeDoc()) {}
+
+  TreePattern Parse(const std::string& xpath) {
+    auto r = engine_.Parse(xpath);
+    EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+    return std::move(r).value();
+  }
+  void AddViews(const std::vector<std::string>& xpaths) {
+    for (const std::string& v : xpaths) {
+      auto id = engine_.AddView(Parse(v));
+      ASSERT_TRUE(id.ok()) << v << ": " << id.status();
+    }
+  }
+
+  Engine engine_;
+};
+
+TEST_F(FaultToleranceTest, ExpiredDeadlineFailsEveryStrategy) {
+  AddViews({"/r/s/p", "/r/t/u"});
+  const TreePattern q = Parse("/r/s/p");
+  QueryLimits limits;
+  limits.deadline = Deadline::AfterMicros(-1);
+  for (AnswerStrategy strategy : kAllStrategies) {
+    auto a = engine_.AnswerQuery(q, strategy, limits);
+    ASSERT_FALSE(a.ok()) << AnswerStrategyName(strategy);
+    EXPECT_EQ(a.status().code(), StatusCode::kDeadlineExceeded)
+        << AnswerStrategyName(strategy) << ": " << a.status();
+  }
+}
+
+TEST_F(FaultToleranceTest, CancelTokenFailsEveryStrategy) {
+  AddViews({"/r/s/p", "/r/t/u"});
+  const TreePattern q = Parse("/r/s/p");
+  CancelToken token;
+  token.Cancel();
+  QueryLimits limits;
+  limits.cancel = &token;
+  for (AnswerStrategy strategy : kAllStrategies) {
+    auto a = engine_.AnswerQuery(q, strategy, limits);
+    ASSERT_FALSE(a.ok()) << AnswerStrategyName(strategy);
+    EXPECT_EQ(a.status().code(), StatusCode::kCancelled)
+        << AnswerStrategyName(strategy) << ": " << a.status();
+  }
+}
+
+TEST_F(FaultToleranceTest, CandidateBudgetExhausts) {
+  // Two views pass VFILTER for /r/s/p; a budget of one trips.
+  AddViews({"/r/s/p", "//s/p"});
+  const TreePattern q = Parse("/r/s/p");
+  QueryLimits limits;
+  limits.max_candidates = 1;
+  for (AnswerStrategy strategy : {AnswerStrategy::kMinimumFiltered,
+                                  AnswerStrategy::kHeuristicFiltered}) {
+    auto a = engine_.AnswerQuery(q, strategy, limits);
+    ASSERT_FALSE(a.ok()) << AnswerStrategyName(strategy);
+    EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted)
+        << a.status();
+  }
+  // A budget that fits succeeds.
+  limits.max_candidates = 2;
+  auto a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered, limits);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->codes.size(), 2u);
+}
+
+TEST_F(FaultToleranceTest, ResultBudgetExhaustsOnBaseAndViewPaths) {
+  AddViews({"/r/s/p"});
+  const TreePattern q = Parse("/r/s/p");  // two result nodes
+  QueryLimits limits;
+  limits.max_result_codes = 1;
+  for (AnswerStrategy strategy : {AnswerStrategy::kBaseNodeIndex,
+                                  AnswerStrategy::kHeuristicFiltered}) {
+    auto a = engine_.AnswerQuery(q, strategy, limits);
+    ASSERT_FALSE(a.ok()) << AnswerStrategyName(strategy);
+    EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted)
+        << a.status();
+  }
+  limits.max_result_codes = 2;
+  auto a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered, limits);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->codes.size(), 2u);
+}
+
+TEST_F(FaultToleranceTest, JoinWidthBudgetExhausts) {
+  AddViews({"/r/s/p"});  // two fragments feed the join
+  const TreePattern q = Parse("/r/s/p");
+  QueryLimits limits;
+  limits.max_join_fragments = 1;
+  auto a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered, limits);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted) << a.status();
+  limits.max_join_fragments = 2;
+  a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered, limits);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->codes.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: when only the exhaustive-selection phase runs out of
+// room, the planner falls back to the greedy heuristic and the query still
+// answers — correctly, with the degradation recorded in the stats.
+
+TEST(DegradationTest, OversizedLeafUniverseDegradesToGreedy) {
+  // 20 predicate leaves + the answer overflow the exact set-cover DP's
+  // 20-bit universe; MN/MV must degrade instead of failing.
+  std::string xml = "<a>";
+  std::string query = "/a";
+  for (int i = 1; i <= 20; ++i) {
+    xml += "<b" + std::to_string(i) + "/>";
+    query += "[b" + std::to_string(i) + "]";
+  }
+  xml += "<c/></a>";
+  query += "/c";
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  Engine engine(std::move(doc).value());
+  for (int i = 1; i <= 20; ++i) {
+    auto v = engine.Parse("/a[b" + std::to_string(i) + "]/c");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(engine.AddView(std::move(v).value()).ok());
+  }
+  auto q = engine.Parse(query);
+  ASSERT_TRUE(q.ok());
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  ASSERT_EQ(bn->codes.size(), 1u);
+  for (AnswerStrategy strategy : {AnswerStrategy::kMinimumNoFilter,
+                                  AnswerStrategy::kMinimumFiltered}) {
+    auto a = engine.AnswerQuery(*q, strategy);
+    ASSERT_TRUE(a.ok()) << AnswerStrategyName(strategy) << ": " << a.status();
+    EXPECT_TRUE(a->stats.degraded_selection) << AnswerStrategyName(strategy);
+    EXPECT_EQ(a->codes, bn->codes) << AnswerStrategyName(strategy);
+  }
+}
+
+TEST_F(FaultToleranceTest, ZeroSliceForcesGreedyFallback) {
+  AddViews({"/r/s/p"});
+  const TreePattern q = Parse("/r/s/p");
+  QueryLimits limits;
+  limits.exhaustive_selection_slice_micros = -1;  // exhaustive disabled
+  auto degraded = engine_.AnswerQuery(q, AnswerStrategy::kMinimumFiltered,
+                                      limits);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->stats.degraded_selection);
+  EXPECT_EQ(degraded->codes.size(), 2u);
+
+  // The degraded plan reflects this call's limits, not the query: it must
+  // not have been cached. A follow-up call with no limits plans afresh and
+  // runs the exhaustive phase.
+  auto fresh = engine_.AnswerQuery(q, AnswerStrategy::kMinimumFiltered);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(fresh->stats.degraded_selection);
+  EXPECT_FALSE(fresh->stats.plan_cache_hit);
+  EXPECT_EQ(fresh->codes, degraded->codes);
+}
+
+// ---------------------------------------------------------------------------
+// Batch failure isolation.
+
+TEST_F(FaultToleranceTest, BatchIsolatesPerSlotFailures) {
+  AddViews({"/r/s/p", "/r/t/u"});
+  std::vector<TreePattern> queries;
+  queries.push_back(Parse("/r/s/p"));
+  queries.push_back(Parse("/r/x"));  // no view covers x: unanswerable
+  queries.push_back(Parse("/r/t/u"));
+  for (int threads : {0, 3}) {
+    auto results = engine_.BatchAnswer(queries,
+                                       AnswerStrategy::kHeuristicFiltered,
+                                       threads);
+    ASSERT_EQ(results.size(), 3u);
+    ASSERT_TRUE(results[0].ok()) << results[0].status();
+    EXPECT_EQ(results[0]->codes.size(), 2u);
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].status().code(), StatusCode::kNotAnswerable);
+    ASSERT_TRUE(results[2].ok()) << results[2].status();
+    EXPECT_EQ(results[2]->codes.size(), 1u);
+  }
+}
+
+TEST_F(FaultToleranceTest, BatchDeadlineFailsEverySlotCleanly) {
+  AddViews({"/r/s/p", "/r/t/u"});
+  std::vector<TreePattern> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(Parse(i % 2 == 0 ? "/r/s/p" : "/r/t/u"));
+  }
+  QueryLimits limits;
+  limits.deadline = Deadline::AfterMicros(-1);
+  auto results = engine_.BatchAnswer(
+      queries, AnswerStrategy::kHeuristicFiltered, /*num_threads=*/3, limits);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence: corruption of the stored image degrades service
+// (quarantine, rebuild) instead of failing the load.
+
+class PersistenceFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "xvr_fault_tolerance_state.bin";
+    auto doc = ParseXml("<r><s><p/><q/></s><s><p/></s><t><u/></t></r>");
+    ASSERT_TRUE(doc.ok());
+    Engine engine(std::move(doc).value());
+    for (const char* v : {"/r/s/p", "/r/t/u"}) {
+      auto p = engine.Parse(v);
+      ASSERT_TRUE(p.ok());
+      auto id = engine.AddView(std::move(p).value());
+      ASSERT_TRUE(id.ok());
+      view_ids_.push_back(*id);
+    }
+    ASSERT_TRUE(engine.SaveState(path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Loads the saved image, lets `mutate` edit the key-value pairs, saves it
+  // back (with a fresh checksum — this models logical corruption that a
+  // byte-level checksum cannot catch, e.g. bit rot before the save).
+  void MutateImage(const std::function<void(KvStore*)>& mutate) {
+    KvStore kv;
+    ASSERT_TRUE(kv.LoadFromFile(path_).ok());
+    mutate(&kv);
+    ASSERT_TRUE(kv.SaveToFile(path_).ok());
+  }
+
+  static void ExpectAnswers(Engine& engine, const std::string& xpath,
+                            size_t num_codes) {
+    auto q = engine.Parse(xpath);
+    ASSERT_TRUE(q.ok());
+    auto hv = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(hv.ok()) << xpath << ": " << hv.status();
+    auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(bn.ok());
+    EXPECT_EQ(hv->codes, bn->codes) << xpath;
+    EXPECT_EQ(hv->codes.size(), num_codes) << xpath;
+  }
+
+  std::string path_;
+  std::vector<int32_t> view_ids_;  // {0, 1}: /r/s/p then /r/t/u
+};
+
+TEST_F(PersistenceFaultTest, CorruptFragmentQuarantinesOnlyThatView) {
+  // Corrupt the first fragment of view 0 (/r/s/p).
+  MutateImage([](KvStore* kv) {
+    std::string victim;
+    kv->ScanPrefix("frag/0000000000/",
+                   [&](const std::string& key, const std::string&) {
+                     victim = key;
+                     return false;
+                   });
+    ASSERT_FALSE(victim.empty());
+    kv->Put(victim, "definitely not a fragment");
+  });
+  auto loaded = Engine::LoadState(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Engine& engine = **loaded;
+  EXPECT_EQ(engine.quarantined_view_ids(), std::vector<int32_t>{0});
+  EXPECT_TRUE(engine.IsViewQuarantined(0));
+  EXPECT_FALSE(engine.vfilter_rebuilt());
+  // The quarantined view is out of serving but kept for diagnosis.
+  EXPECT_EQ(engine.view_ids(), std::vector<int32_t>{1});
+  EXPECT_NE(engine.view(0), nullptr);
+  // The surviving view still answers; the lost one is now unanswerable.
+  ExpectAnswers(engine, "/r/t/u", 1);
+  auto q = engine.Parse("/r/s/p");
+  ASSERT_TRUE(q.ok());
+  auto a = engine.AnswerQuery(*q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kNotAnswerable);
+  // Base strategies are unaffected by view corruption.
+  auto bn = engine.AnswerQuery(*q, AnswerStrategy::kBaseNodeIndex);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_EQ(bn->codes.size(), 2u);
+}
+
+TEST_F(PersistenceFaultTest, QuarantineSurvivesSaveLoadRoundTrip) {
+  MutateImage([](KvStore* kv) {
+    std::string victim;
+    kv->ScanPrefix("frag/0000000000/",
+                   [&](const std::string& key, const std::string&) {
+                     victim = key;
+                     return false;
+                   });
+    ASSERT_FALSE(victim.empty());
+    kv->Put(victim, "garbage");
+  });
+  auto loaded = Engine::LoadState(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE((*loaded)->SaveState(path_).ok());
+  auto reloaded = Engine::LoadState(path_);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  Engine& engine = **reloaded;
+  EXPECT_EQ(engine.quarantined_view_ids(), std::vector<int32_t>{0});
+  ExpectAnswers(engine, "/r/t/u", 1);
+}
+
+TEST_F(PersistenceFaultTest, CorruptVFilterImageRebuildsFromCatalog) {
+  MutateImage([](KvStore* kv) {
+    kv->Put("vfilter/image", "not a vfilter image");
+  });
+  auto loaded = Engine::LoadState(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Engine& engine = **loaded;
+  EXPECT_TRUE(engine.vfilter_rebuilt());
+  EXPECT_TRUE(engine.quarantined_view_ids().empty());
+  EXPECT_EQ(engine.num_views(), 2u);
+  ExpectAnswers(engine, "/r/s/p", 2);
+  ExpectAnswers(engine, "/r/t/u", 1);
+}
+
+TEST_F(PersistenceFaultTest, MissingVFilterImageRebuildsFromCatalog) {
+  MutateImage([](KvStore* kv) { kv->Delete("vfilter/image"); });
+  auto loaded = Engine::LoadState(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE((*loaded)->vfilter_rebuilt());
+  ExpectAnswers(**loaded, "/r/s/p", 2);
+}
+
+TEST_F(PersistenceFaultTest, TornImageIsRejectedByChecksum) {
+  auto bytes = ReadFileToString(path_);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path_, bytes->substr(0, bytes->size() - 1)).ok());
+  auto loaded = Engine::LoadState(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(FileUtilTest, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "xvr_atomic_write.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, "one").ok());
+  auto first = ReadFileToString(path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "one");
+  ASSERT_TRUE(WriteFileAtomic(path, "two").ok());
+  auto second = ReadFileToString(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "two");
+  // The temporary sibling must be gone after the rename.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xvr

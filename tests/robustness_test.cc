@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
+#include "common/file_util.h"
 #include "common/random.h"
+#include "core/engine.h"
+#include "storage/kv_store.h"
 #include "pattern/evaluate.h"
 #include "pattern/pattern_writer.h"
 #include "pattern/xpath_parser.h"
@@ -188,6 +192,188 @@ TEST(FuzzSerde, FragmentCorruption) {
       }
     }
     (void)Fragment::Deserialize(mutated);  // must not crash (lint:discard-ok)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Systematic corruption sweeps. The checksum-and-framing discipline on every
+// persisted image (VFilter v4, KvStore, the engine state file) guarantees
+// that a truncation at ANY byte offset and a corruption of ANY single byte
+// are rejected with an error — these loops prove it exhaustively rather
+// than sampling.
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+VFilter SmallFilter(LabelDict* dict) {
+  VFilter filter;
+  for (int i = 0; i < 4; ++i) {
+    auto p = ParseXPath("/a/b" + std::to_string(i) + "[c]//d", dict);
+    EXPECT_TRUE(p.ok());
+    filter.AddView(i, *p);
+  }
+  return filter;
+}
+
+TEST(CorruptionSweep, VFilterImageTruncationAtEveryOffset) {
+  LabelDict dict;
+  const std::string image = SerializeVFilter(SmallFilter(&dict));
+  for (size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(DeserializeVFilter(image.substr(0, len)).ok())
+        << "truncation to " << len << " of " << image.size()
+        << " bytes was accepted";
+  }
+}
+
+TEST(CorruptionSweep, VFilterImageSingleByteCorruptionAtEveryOffset) {
+  LabelDict dict;
+  const std::string image = SerializeVFilter(SmallFilter(&dict));
+  for (size_t off = 0; off < image.size(); ++off) {
+    std::string mutated = image;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0xFF);
+    EXPECT_FALSE(DeserializeVFilter(mutated).ok())
+        << "flip at offset " << off << " was accepted";
+  }
+}
+
+TEST(CorruptionSweep, VFilterImageRandomByteCorruption) {
+  LabelDict dict;
+  const std::string image = SerializeVFilter(SmallFilter(&dict));
+  Rng rng(1008);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = image;
+    const size_t off = rng.NextBounded(mutated.size());
+    mutated[off] = static_cast<char>(
+        mutated[off] ^ static_cast<char>(rng.NextInt(1, 255)));
+    auto restored = DeserializeVFilter(mutated);
+    if (off >= 4 && off < 8) {
+      // A flip in the version field can re-frame the image as legacy v3,
+      // which has no checksum; acceptance is allowed but must be safe.
+      if (restored.ok()) {
+        auto q = ParseXPath("/a/b1[c]//d", &dict);
+        ASSERT_TRUE(q.ok());
+        (void)restored->Filter(*q);  // crash probe (lint:discard-ok)
+      }
+    } else {
+      EXPECT_FALSE(restored.ok()) << "flip at offset " << off;
+    }
+  }
+}
+
+TEST(CorruptionSweep, VFilterLegacyV3ImageStillReadable) {
+  LabelDict dict;
+  const VFilter filter = SmallFilter(&dict);
+  const std::string v4 = SerializeVFilter(filter);
+  ASSERT_GT(v4.size(), 24u);
+  // v3 layout: magic, version, then the bare body — no length framing, no
+  // checksum. Re-wrap the v4 payload to prove the legacy path still parses.
+  std::string v3;
+  AppendU32(0x56464C54, &v3);  // "VFLT"
+  AppendU32(3, &v3);
+  v3 += v4.substr(16, v4.size() - 24);
+  auto restored = DeserializeVFilter(v3);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  auto q = ParseXPath("/a/b1[c]//d", &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(restored->Filter(*q).candidates, filter.Filter(*q).candidates);
+}
+
+TEST(CorruptionSweep, KvStoreImageTruncationAtEveryOffset) {
+  KvStore kv;
+  kv.Put("meta/doc", "<r><s/></r>");
+  kv.Put("frag/0000000000/00000000", "fragment bytes");
+  kv.Put("vfilter/image", "image bytes");
+  const std::string image = kv.Serialize();
+  for (size_t len = 0; len < image.size(); ++len) {
+    KvStore loaded;
+    EXPECT_FALSE(loaded.Deserialize(image.substr(0, len)).ok())
+        << "truncation to " << len << " of " << image.size()
+        << " bytes was accepted";
+  }
+}
+
+TEST(CorruptionSweep, KvStoreImageSingleByteCorruptionAtEveryOffset) {
+  KvStore kv;
+  kv.Put("meta/doc", "<r><s/></r>");
+  kv.Put("frag/0000000000/00000000", "fragment bytes");
+  kv.Put("vfilter/image", "image bytes");
+  const std::string image = kv.Serialize();
+  for (size_t off = 0; off < image.size(); ++off) {
+    std::string mutated = image;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0xFF);
+    KvStore loaded;
+    loaded.Put("sentinel", "untouched");
+    EXPECT_FALSE(loaded.Deserialize(mutated).ok())
+        << "flip at offset " << off << " was accepted";
+    // A failed load must not clobber the store's previous contents.
+    ASSERT_NE(loaded.Get("sentinel"), nullptr);
+  }
+}
+
+TEST(CorruptionSweep, EngineStateTruncationAtEveryOffset) {
+  const std::string path = ::testing::TempDir() + "xvr_sweep_state.bin";
+  auto doc = ParseXml("<r><s><p/></s></r>");
+  ASSERT_TRUE(doc.ok());
+  {
+    Engine engine(std::move(doc).value());
+    auto v = engine.Parse("/r/s/p");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(engine.AddView(std::move(v).value()).ok());
+    ASSERT_TRUE(engine.SaveState(path).ok());
+  }
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t len = 0; len < bytes->size(); ++len) {
+    ASSERT_TRUE(WriteFileAtomic(path, bytes->substr(0, len)).ok());
+    EXPECT_FALSE(Engine::LoadState(path).ok())
+        << "truncation to " << len << " of " << bytes->size()
+        << " bytes was accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionSweep, EngineStateRandomSingleByteCorruption) {
+  const std::string path = ::testing::TempDir() + "xvr_sweep_flip.bin";
+  auto doc = ParseXml("<r><s><p/></s></r>");
+  ASSERT_TRUE(doc.ok());
+  {
+    Engine engine(std::move(doc).value());
+    auto v = engine.Parse("/r/s/p");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(engine.AddView(std::move(v).value()).ok());
+    ASSERT_TRUE(engine.SaveState(path).ok());
+  }
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  Rng rng(1009);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = *bytes;
+    const size_t off = rng.NextBounded(mutated.size());
+    mutated[off] = static_cast<char>(
+        mutated[off] ^ static_cast<char>(rng.NextInt(1, 255)));
+    ASSERT_TRUE(WriteFileAtomic(path, mutated).ok());
+    // The KvStore-level checksum covers the whole image: any flipped byte
+    // fails the load outright (per-value corruption tolerance — quarantine,
+    // VFILTER rebuild — only applies to logical corruption that re-passes
+    // the image checksum; see fault_tolerance_test.cc).
+    EXPECT_FALSE(Engine::LoadState(path).ok()) << "flip at offset " << off;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionSweep, FragmentTruncationAtEveryOffsetNeverCrashes) {
+  auto tree = ParseXml("<a><b n=\"1\"><c>t</c></b><b/></a>");
+  ASSERT_TRUE(tree.ok());
+  tree->AssignDeweyCodes();
+  const Fragment fragment = Fragment::FromTree(*tree, tree->root());
+  const std::string bytes = fragment.Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    // No trailing checksum at this layer (the KvStore image above carries
+    // it), so a prefix may parse; it must never crash.
+    (void)Fragment::Deserialize(bytes.substr(0, len));  // lint:discard-ok
   }
 }
 
