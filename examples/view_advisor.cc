@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -81,7 +82,8 @@ int main(int argc, char** argv) {
     // on their own (their fragments are nearly as big as scanning base
     // data anyway).
     if (bytes > budget_kb * 1024 / 8) {
-      engine.RemoveView(*id);
+      // The id was just added, so the removal cannot miss.
+      XVR_CHECK(engine.RemoveView(*id).ok());
       continue;
     }
     used_bytes += bytes;

@@ -174,7 +174,11 @@ class Shell {
       return true;
     }
     if (cmd == "drop") {
-      engine_->RemoveView(static_cast<int32_t>(std::atoi(rest.c_str())));
+      const xvr::Status dropped =
+          engine_->RemoveView(static_cast<int32_t>(std::atoi(rest.c_str())));
+      if (!dropped.ok()) {
+        std::printf("drop: %s\n", dropped.ToString().c_str());
+      }
       return true;
     }
     if (cmd == "stats") {

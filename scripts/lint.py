@@ -29,6 +29,15 @@ Rules (each suppressible per line with a `lint:<rule>-ok` comment):
                 persisted images and makes them nondeterministic. Suppress a
                 deliberately order-insensitive loop with lint:ordered-ok.
 
+  catalog-pin   In src/core and src/exec (outside the engine and the
+                snapshot type itself), no direct call of the published-
+                catalog accessor — `Catalog()` or `deps_.catalog(...)`.
+                Query code must read the one snapshot
+                pinned in its ExecutionContext; a second accessor call mid-
+                query could observe a *different* snapshot and mix two
+                catalog versions in one answer. The pipeline's pin sites
+                (exactly one per query) carry lint:catalog-pin-ok.
+
   deadline      In src/core and src/exec, a function on the limit-carrying
                 serving path (one that mentions QueryLimits or
                 ExecutionContext) must not contain a for/while loop without
@@ -56,6 +65,14 @@ RAW_MUTEX_RE = re.compile(
 THROW_TRY_RE = re.compile(r"(^|[^\w])(throw\b|try\s*\{|catch\s*\()")
 VOID_DISCARD_RE = re.compile(r"\(void\)\s*[\w:\.\->]*\w\s*\(")
 SUPPRESS_RE = re.compile(r"lint:([a-z-]+)-ok")
+
+CATALOG_PIN_DIRS = ("src/core/", "src/exec/")
+CATALOG_PIN_ALLOWLIST = {
+    "src/core/engine.h", "src/core/engine.cc",
+    "src/core/catalog.h", "src/core/catalog.cc",
+}
+CATALOG_PIN_RE = re.compile(
+    r"(?<!\w)Catalog\s*\(\s*\)|deps_\.catalog\s*\(|catalog_\.load\s*\(")
 
 DEADLINE_DIRS = ("src/core/", "src/exec/")
 DEADLINE_CARRIER_RE = re.compile(r"\b(QueryLimits|ExecutionContext)\b")
@@ -193,6 +210,15 @@ def lint_file(rel, raw, code, unordered_names, findings):
                 findings.append((rel, lineno, "discard",
                                  "(void)-discarded call; handle the result "
                                  "or XVR_RETURN_IF_ERROR it"))
+        if (rel.startswith(CATALOG_PIN_DIRS)
+                and rel not in CATALOG_PIN_ALLOWLIST
+                and CATALOG_PIN_RE.search(line)):
+            if not suppressed(lineno, "catalog-pin"):
+                findings.append((rel, lineno, "catalog-pin",
+                                 "direct published-catalog access outside "
+                                 "the per-query pin; read the snapshot in "
+                                 "ExecutionContext::catalog instead (or "
+                                 "lint:catalog-pin-ok at a pin site)"))
 
     in_serde_file = "serde" in pathlib.PurePosixPath(rel).name
     for lineno, line in enumerate(code_lines, 1):

@@ -413,4 +413,94 @@ Status ValidateAnswerCodes(const std::vector<DeweyCode>& codes) {
   return Status::Ok();
 }
 
+Status ValidateCatalogSnapshot(const CatalogSnapshot& catalog) {
+  for (const int32_t id : catalog.quarantined_views) {  // lint:ordered-ok
+    if (catalog.views.count(id) == 0) {
+      return Violation("quarantined view " + std::to_string(id) +
+                       " is not in the views map");
+    }
+  }
+  // The VFILTER registry must index exactly the serving views.
+  const auto& registry = catalog.vfilter.view_path_counts();
+  for (const auto& [id, num_paths] : registry) {  // lint:ordered-ok
+    (void)num_paths;
+    if (catalog.views.count(id) == 0) {
+      return Violation("VFILTER indexes unknown view " + std::to_string(id));
+    }
+    if (catalog.quarantined_views.count(id) > 0) {
+      return Violation("VFILTER indexes quarantined view " +
+                       std::to_string(id));
+    }
+  }
+  for (const auto& [id, pattern] : catalog.views) {  // lint:ordered-ok
+    (void)pattern;
+    if (id >= catalog.next_view_id) {
+      return Violation("view id " + std::to_string(id) +
+                       " >= next_view_id " +
+                       std::to_string(catalog.next_view_id));
+    }
+    if (catalog.quarantined_views.count(id) == 0 && registry.count(id) == 0) {
+      return Violation("serving view " + std::to_string(id) +
+                       " is missing from VFILTER");
+    }
+  }
+  // Fragments belong to serving views; partial views are materialized.
+  for (const int32_t id : catalog.fragments.view_ids()) {
+    if (catalog.views.count(id) == 0) {
+      return Violation("fragment store holds unknown view " +
+                       std::to_string(id));
+    }
+    if (catalog.quarantined_views.count(id) > 0) {
+      return Violation("fragment store holds quarantined view " +
+                       std::to_string(id));
+    }
+  }
+  for (const int32_t id : catalog.partial_views) {  // lint:ordered-ok
+    if (!catalog.fragments.HasView(id)) {
+      return Violation("partial view " + std::to_string(id) +
+                       " has no materialized codes");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateCatalogWalRecords(
+    const std::vector<CatalogWalRecord>& records) {
+  uint64_t prev_seq = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const CatalogWalRecord& record = records[i];
+    if (i > 0 && record.seq <= prev_seq) {
+      return Violation("WAL record " + std::to_string(i) +
+                       ": sequence not strictly increasing (" +
+                       std::to_string(prev_seq) +
+                       " -> " + std::to_string(record.seq) + ")");
+    }
+    prev_seq = record.seq;
+    switch (record.op) {
+      case CatalogWalOp::kAddView:
+      case CatalogWalOp::kAddViewCodesOnly:
+      case CatalogWalOp::kAddViewPattern:
+        if (record.xpath.empty()) {
+          return Violation("WAL record " + std::to_string(i) +
+                           ": add without a pattern");
+        }
+        break;
+      case CatalogWalOp::kRemoveView:
+        if (!record.xpath.empty()) {
+          return Violation("WAL record " + std::to_string(i) +
+                           ": remove carries a pattern");
+        }
+        break;
+      default:
+        return Violation("WAL record " + std::to_string(i) + ": unknown op " +
+                         std::to_string(static_cast<int>(record.op)));
+    }
+    if (record.view_id < 0) {
+      return Violation("WAL record " + std::to_string(i) +
+                       ": negative view id");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace xvr

@@ -19,7 +19,9 @@
 
 #include "common/logging.h"
 #include "common/status.h"
+#include "core/catalog.h"
 #include "pattern/path_pattern.h"
+#include "storage/catalog_wal.h"
 #include "pattern/tree_pattern.h"
 #include "selection/answerability.h"
 #include "storage/fragment_store.h"
@@ -71,6 +73,19 @@ Status ValidateViewFragments(const FragmentStore& store, int32_t view_id,
 // Answer invariant: extended Dewey codes in strictly increasing document
 // order (what every AnswerQuery strategy promises).
 Status ValidateAnswerCodes(const std::vector<DeweyCode>& codes);
+
+// Catalog snapshot invariants — the consistency every published snapshot
+// promises its readers (src/core/catalog.h): quarantined ids are a subset
+// of the views map; the VFILTER view registry indexes exactly the serving
+// (non-quarantined) views; every materialized fragment set belongs to a
+// serving view; partial (codes-only) views are materialized; and every id
+// is below next_view_id. Run by the engine on every publish in
+// XVR_VALIDATE builds.
+Status ValidateCatalogSnapshot(const CatalogSnapshot& catalog);
+
+// Catalog WAL invariants: sequence numbers strictly increasing, add
+// records carry a pattern, remove records carry none, ops are known.
+Status ValidateCatalogWalRecords(const std::vector<CatalogWalRecord>& records);
 
 }  // namespace xvr
 

@@ -1,11 +1,87 @@
 #include "common/file_util.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "common/fault_injection.h"
 
 namespace xvr {
+namespace {
+
+// Runs `attempt` under `retry`: transient I/O failures are retried with
+// capped exponential backoff; any other status (including Ok) returns
+// immediately.
+template <typename Fn>
+Status WithRetry(const RetryPolicy& retry, const Fn& attempt) {
+  Status status = Status::Ok();
+  int64_t backoff = retry.base_backoff_micros;
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0 && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          backoff > retry.max_backoff_micros ? retry.max_backoff_micros
+                                             : backoff));
+      backoff *= 2;
+    }
+    status = attempt();
+    if (status.code() != StatusCode::kIoError) {
+      return status;
+    }
+  }
+  return status;
+}
+
+Status WriteFileAtomicOnce(const std::string& path, const std::string& bytes) {
+  XVR_FAULT_POINT("file.write_atomic",
+                  return Status::IoError("injected: file.write_atomic " +
+                                         path));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+Status AppendToFileOnce(const std::string& path, const std::string& bytes,
+                        const char* fault_point) {
+#if defined(XVR_FAULTS)
+  if (fault_point != nullptr &&
+      FaultInjector::Instance().ShouldFire(fault_point)) {
+    return Status::IoError(std::string("injected: ") + fault_point + " " +
+                           path);
+  }
+#else
+  (void)fault_point;
+#endif
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for append");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("append failure on " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
   XVR_FAULT_POINT("file.read",
@@ -29,29 +105,16 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return bytes;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  XVR_FAULT_POINT("file.write_atomic",
-                  return Status::IoError("injected: file.write_atomic " +
-                                         path));
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + tmp + " for writing");
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::IoError("write failure on " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " over " + path);
-  }
-  return Status::Ok();
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const RetryPolicy& retry) {
+  return WithRetry(retry,
+                   [&] { return WriteFileAtomicOnce(path, bytes); });
+}
+
+Status AppendToFile(const std::string& path, const std::string& bytes,
+                    const char* fault_point, const RetryPolicy& retry) {
+  return WithRetry(
+      retry, [&] { return AppendToFileOnce(path, bytes, fault_point); });
 }
 
 }  // namespace xvr

@@ -1,7 +1,7 @@
 #ifndef XVR_COMMON_FILE_UTIL_H_
 #define XVR_COMMON_FILE_UTIL_H_
 
-// Whole-file I/O with crash-safe writes.
+// Whole-file I/O with crash-safe writes and transient-failure retry.
 //
 // Every persisted image (engine state, standalone KvStore files) goes
 // through WriteFileAtomic: the bytes land in a temporary sibling file first
@@ -10,19 +10,51 @@
 // a torn half-write. (Torn images are additionally caught at load time by
 // the trailing checksums, but atomicity means a crash does not cost the
 // previous good state.)
+//
+// Writes that serve durability (the state image, the catalog WAL) retry
+// transient I/O failures with capped exponential backoff before giving up:
+// a blip (EINTR, a momentarily full buffer, an injected fault) costs a few
+// hundred microseconds instead of a failed mutation. Each attempt
+// re-evaluates the operation's fault point, so the fault-injection
+// registry's "fail N times then succeed" mode (FaultSpec::max_fires)
+// exercises the retry path deterministically.
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
 
 namespace xvr {
 
+// Bounded retry with capped exponential backoff: attempt 1 runs
+// immediately; attempt k+1 runs after min(base << (k-1), max) microseconds.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int64_t base_backoff_micros = 200;
+  int64_t max_backoff_micros = 5'000;
+
+  static RetryPolicy None() { return RetryPolicy{1, 0, 0}; }
+};
+
 // Reads the entire file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
 // Writes `bytes` to `path` via write-temp-then-rename. On any failure the
-// temporary file is removed and `path` is left untouched.
-Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+// temporary file is removed and `path` is left untouched. I/O failures are
+// retried per `retry` (whole write-temp-then-rename attempts; the default
+// policy absorbs transient blips).
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const RetryPolicy& retry = RetryPolicy());
+
+// Appends `bytes` to `path` (creating it if absent) and flushes before
+// returning, retrying per `retry`. `fault_point`, when non-null, names the
+// XVR_FAULT_POINT evaluated once per attempt (so tests can fail the first N
+// attempts and let the retry succeed). NOT atomic: a crash mid-append
+// leaves a torn tail, which append-log readers (the catalog WAL) must
+// detect via their record checksums.
+Status AppendToFile(const std::string& path, const std::string& bytes,
+                    const char* fault_point = nullptr,
+                    const RetryPolicy& retry = RetryPolicy());
 
 }  // namespace xvr
 

@@ -1,0 +1,84 @@
+#ifndef XVR_CORE_CATALOG_H_
+#define XVR_CORE_CATALOG_H_
+
+// The immutable view-catalog snapshot behind online catalog evolution.
+//
+// A CatalogSnapshot bundles everything that changes when a view is added or
+// dropped — the view patterns, the partial/quarantined markers, the VFILTER
+// NFA and the fragment store — into one value that is frozen the moment it
+// is published. The engine publishes snapshots RCU-style through an atomic
+// shared_ptr: readers pin exactly one snapshot per query (in their
+// ExecutionContext) and answer entirely against it, so a concurrent
+// AddView/RemoveView can never tear a read or free a view mid-join; writers
+// copy the current snapshot, mutate the copy under the engine's writer
+// mutex, and swap it in with a bumped version (which is also what lazily
+// invalidates cached plans).
+//
+// Copies are cheap where it matters: the FragmentStore shares the
+// per-view fragment vectors between snapshots (copy-on-write at view
+// granularity), so a successor snapshot costs O(#views) bookkeeping plus
+// one VFILTER NFA copy — not a re-materialization.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pattern/tree_pattern.h"
+#include "selection/answerability.h"
+#include "storage/fragment_store.h"
+#include "vfilter/vfilter.h"
+
+namespace xvr {
+
+struct CatalogSnapshot {
+  // All known view patterns, including quarantined ones (kept for
+  // diagnosis; excluded from everything selection-facing).
+  std::unordered_map<int32_t, TreePattern> views;
+  // Views materialized codes-only (§VII partial materialization).
+  std::unordered_set<int32_t> partial_views;
+  // Views LoadState dropped from serving (corrupt fragments).
+  std::unordered_set<int32_t> quarantined_views;
+  VFilter vfilter;
+  FragmentStore fragments;
+  int32_t next_view_id = 0;
+  // Monotonically increasing; bumped on every published mutation. Plans
+  // built against an older version are dropped by the PlanCache.
+  uint64_t version = 0;
+
+  CatalogSnapshot() = default;
+  explicit CatalogSnapshot(VFilterOptions vfilter_options)
+      : vfilter(vfilter_options) {}
+
+  const TreePattern* view(int32_t id) const {
+    auto it = views.find(id);
+    return it == views.end() ? nullptr : &it->second;
+  }
+
+  bool IsViewPartial(int32_t id) const { return partial_views.count(id) > 0; }
+  bool IsViewQuarantined(int32_t id) const {
+    return quarantined_views.count(id) > 0;
+  }
+
+  // Serving view ids (quarantined excluded), sorted ascending.
+  std::vector<int32_t> view_ids() const;
+
+  // Quarantined ids, sorted ascending.
+  std::vector<int32_t> quarantined_view_ids() const;
+
+  // Resolver handed to the selectors: quarantined views resolve to nullptr
+  // so no selector ever picks them, even from a stale candidate list. The
+  // returned callable captures `this` and must not outlive the snapshot —
+  // callers hold the snapshot pinned for the duration of the query.
+  ViewLookup MakeLookup() const;
+};
+
+// The pinned handle readers carry: shared ownership keeps every view the
+// query may touch alive until the last in-flight reader drops it, however
+// many mutations are published meanwhile.
+using CatalogRef = std::shared_ptr<const CatalogSnapshot>;
+
+}  // namespace xvr
+
+#endif  // XVR_CORE_CATALOG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "analysis/validate.h"
 #include "common/logging.h"
@@ -18,10 +19,7 @@
 namespace xvr {
 
 Engine::Engine(XmlTree doc, EngineOptions options)
-    : doc_(std::move(doc)),
-      options_(std::move(options)),
-      base_(doc_),
-      vfilter_(options_.vfilter) {
+    : doc_(std::move(doc)), options_(std::move(options)), base_(doc_) {
   if (!doc_.has_dewey()) {
     doc_.AssignDeweyCodes();
   }
@@ -35,16 +33,14 @@ Engine::Engine(XmlTree doc, EngineOptions options)
     };
   }
 
-  PlannerCatalog catalog;
-  catalog.vfilter = &vfilter_;
-  catalog.lookup = MakeLookup();
-  catalog.is_partial = [this](int32_t id) { return IsViewPartial(id); };
-  catalog.view_bytes = [this](int32_t id) {
-    return fragment_store_.ViewByteSize(id);
-  };
-  catalog.view_ids = [this] { return view_ids(); };
-  catalog.minimize_patterns = options_.minimize_patterns;
-  planner_ = std::make_unique<Planner>(std::move(catalog));
+  // The empty initial catalog (version 0).
+  {
+    MutexLock lock(&published_mu_);
+    catalog_ = std::make_shared<const CatalogSnapshot>(options_.vfilter);
+  }
+
+  planner_ = std::make_unique<Planner>(
+      PlannerOptions{options_.minimize_patterns});
 
   if (options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
@@ -54,9 +50,8 @@ Engine::Engine(XmlTree doc, EngineOptions options)
   deps.planner = planner_.get();
   deps.cache = plan_cache_.get();
   deps.base = &base_;
-  deps.fragments = &fragment_store_;
   deps.doc = &doc_;
-  deps.catalog_version = [this] { return catalog_version(); };
+  deps.catalog = [this] { return Catalog(); };
   pipeline_ = std::make_unique<QueryPipeline>(std::move(deps));
 }
 
@@ -64,97 +59,161 @@ Result<TreePattern> Engine::Parse(const std::string& xpath) {
   return ParseXPath(xpath, &doc_.labels());
 }
 
-Result<int32_t> Engine::AddView(TreePattern view) {
+CatalogSnapshot Engine::CloneCatalog() const {
+  // The writer mutex is held, so nobody can publish underneath us; the copy
+  // shares fragment vectors with the current snapshot (see
+  // storage/fragment_store.h) and is private to this writer until Publish.
+  return *Catalog();
+}
+
+void Engine::PublishCatalog(CatalogSnapshot next) {
+  next.version = Catalog()->version + 1;
+  XVR_DEBUG_VALIDATE(ValidateCatalogSnapshot(next));
+  // Build the successor off-lock; only the pointer install sits inside the
+  // readers' critical section.
+  auto published = std::make_shared<const CatalogSnapshot>(std::move(next));
+  MutexLock lock(&published_mu_);
+  catalog_ = std::move(published);
+}
+
+Result<int32_t> Engine::AddViewLocked(TreePattern view, CatalogWalOp op,
+                                      int32_t forced_id, bool log_to_wal) {
   if (options_.minimize_patterns) {
     MinimizePattern(&view);
   }
+  // Materialize before touching any shared state: a failed materialization
+  // leaves no trace in the catalog and never reaches the WAL.
   std::vector<Fragment> fragments;
-  XVR_ASSIGN_OR_RETURN(fragments,
-                       MaterializeView(view, doc_, options_.materialize));
-  const int32_t id = next_view_id_++;
-  fragment_store_.PutView(id, std::move(fragments));
-  vfilter_.AddView(id, view);
-  views_.emplace(id, std::move(view));
-  BumpCatalogVersion();
-  XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
-  XVR_DEBUG_VALIDATE(
-      ValidateViewFragments(fragment_store_, id, *doc_.fst(), MakeLookup()));
+  const bool materialize = op != CatalogWalOp::kAddViewPattern;
+  if (materialize) {
+    MaterializeOptions mat_options = options_.materialize;
+    mat_options.codes_only = op == CatalogWalOp::kAddViewCodesOnly;
+    XVR_ASSIGN_OR_RETURN(fragments, MaterializeView(view, doc_, mat_options));
+  }
+  CatalogSnapshot next = CloneCatalog();
+  const int32_t id = forced_id >= 0 ? forced_id : next.next_view_id;
+  next.next_view_id = std::max(next.next_view_id, id + 1);
+  if (log_to_wal && wal_ != nullptr) {
+    // Log before publish: once the mutation is visible to readers it must
+    // survive a crash. A failed append aborts the whole mutation.
+    const Result<uint64_t> seq =
+        wal_->Append(op, id, PatternToXPath(view, doc_.labels()));
+    XVR_RETURN_IF_ERROR(seq.status());
+  }
+  if (materialize) {
+    next.fragments.PutView(id, std::move(fragments));
+  }
+  next.vfilter.AddView(id, view);
+  if (op == CatalogWalOp::kAddViewCodesOnly) {
+    next.partial_views.insert(id);
+  }
+  next.views.emplace(id, std::move(view));
+  PublishCatalog(std::move(next));
+  XVR_DEBUG_VALIDATE(ValidateVFilter(Catalog()->vfilter));
+  if (materialize) {
+    XVR_DEBUG_VALIDATE(ValidateViewFragments(Catalog()->fragments, id,
+                                             *doc_.fst(),
+                                             Catalog()->MakeLookup()));
+  }
   return id;
+}
+
+Status Engine::RemoveViewLocked(int32_t id, bool log_to_wal) {
+  CatalogSnapshot next = CloneCatalog();
+  if (next.views.count(id) == 0) {
+    return Status::NotFound("no view with id " + std::to_string(id));
+  }
+  if (log_to_wal && wal_ != nullptr) {
+    const Result<uint64_t> seq =
+        wal_->Append(CatalogWalOp::kRemoveView, id, /*xpath=*/"");
+    XVR_RETURN_IF_ERROR(seq.status());
+  }
+  next.views.erase(id);
+  next.vfilter.RemoveView(id);
+  next.fragments.RemoveView(id);
+  next.partial_views.erase(id);
+  next.quarantined_views.erase(id);
+  PublishCatalog(std::move(next));
+  XVR_DEBUG_VALIDATE(ValidateVFilter(Catalog()->vfilter));
+  return Status::Ok();
+}
+
+Result<int32_t> Engine::AddView(TreePattern view) {
+  MutexLock lock(&catalog_mu_);
+  return AddViewLocked(std::move(view), CatalogWalOp::kAddView,
+                       /*forced_id=*/-1, /*log_to_wal=*/true);
 }
 
 Result<int32_t> Engine::AddViewCodesOnly(TreePattern view) {
-  if (options_.minimize_patterns) {
-    MinimizePattern(&view);
-  }
-  MaterializeOptions options = options_.materialize;
-  options.codes_only = true;
-  std::vector<Fragment> fragments;
-  XVR_ASSIGN_OR_RETURN(fragments, MaterializeView(view, doc_, options));
-  const int32_t id = next_view_id_++;
-  fragment_store_.PutView(id, std::move(fragments));
-  vfilter_.AddView(id, view);
-  views_.emplace(id, std::move(view));
-  partial_views_.insert(id);
-  BumpCatalogVersion();
-  XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
-  XVR_DEBUG_VALIDATE(
-      ValidateViewFragments(fragment_store_, id, *doc_.fst(), MakeLookup()));
-  return id;
+  MutexLock lock(&catalog_mu_);
+  return AddViewLocked(std::move(view), CatalogWalOp::kAddViewCodesOnly,
+                       /*forced_id=*/-1, /*log_to_wal=*/true);
 }
 
-int32_t Engine::AddViewPattern(TreePattern view) {
-  if (options_.minimize_patterns) {
-    MinimizePattern(&view);
-  }
-  const int32_t id = next_view_id_++;
-  vfilter_.AddView(id, view);
-  views_.emplace(id, std::move(view));
-  BumpCatalogVersion();
-  return id;
+Result<int32_t> Engine::AddViewPattern(TreePattern view) {
+  MutexLock lock(&catalog_mu_);
+  return AddViewLocked(std::move(view), CatalogWalOp::kAddViewPattern,
+                       /*forced_id=*/-1, /*log_to_wal=*/true);
 }
 
-void Engine::RemoveView(int32_t id) {
-  if (views_.erase(id) > 0) {
-    vfilter_.RemoveView(id);
-    fragment_store_.RemoveView(id);
-    partial_views_.erase(id);
-    BumpCatalogVersion();
-    XVR_DEBUG_VALIDATE(ValidateVFilter(vfilter_));
-  }
+Status Engine::RemoveView(int32_t id) {
+  MutexLock lock(&catalog_mu_);
+  return RemoveViewLocked(id, /*log_to_wal=*/true);
 }
 
-const TreePattern* Engine::view(int32_t id) const {
-  auto it = views_.find(id);
-  return it == views_.end() ? nullptr : &it->second;
-}
-
-std::vector<int32_t> Engine::view_ids() const {
-  std::vector<int32_t> ids;
-  ids.reserve(views_.size());
-  for (const auto& [id, pattern] : views_) {
-    (void)pattern;
-    if (quarantined_views_.count(id) == 0) {
-      ids.push_back(id);
+Status Engine::ApplyWalRecordLocked(const CatalogWalRecord& record) {
+  switch (record.op) {
+    case CatalogWalOp::kRemoveView:
+      return RemoveViewLocked(record.view_id, /*log_to_wal=*/false);
+    case CatalogWalOp::kAddView:
+    case CatalogWalOp::kAddViewCodesOnly:
+    case CatalogWalOp::kAddViewPattern: {
+      // Replay is deterministic: the pattern re-parses against the same
+      // document and re-materializes the same fragments the original
+      // mutation produced (the original append only happened after a
+      // successful materialization).
+      Result<TreePattern> pattern = ParseXPath(record.xpath, &doc_.labels());
+      XVR_RETURN_IF_ERROR(pattern.status());
+      const Result<int32_t> id =
+          AddViewLocked(std::move(pattern).value(), record.op,
+                        /*forced_id=*/record.view_id, /*log_to_wal=*/false);
+      return id.status();
     }
   }
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return Status::Internal("unknown catalog WAL op " +
+                          std::to_string(static_cast<int>(record.op)));
 }
 
-std::vector<int32_t> Engine::quarantined_view_ids() const {
-  std::vector<int32_t> ids(quarantined_views_.begin(),
-                           quarantined_views_.end());
-  std::sort(ids.begin(), ids.end());
-  return ids;
+Status Engine::EnableCatalogWal(const std::string& path) {
+  MutexLock lock(&catalog_mu_);
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("catalog WAL already enabled at " +
+                                   wal_->path());
+  }
+  std::vector<CatalogWalRecord> records;
+  XVR_ASSIGN_OR_RETURN(records, CatalogWal::ReadAll(path));
+  XVR_DEBUG_VALIDATE(ValidateCatalogWalRecords(records));
+  uint64_t last_seq = wal_checkpoint_seq_;
+  for (const CatalogWalRecord& record : records) {
+    if (record.seq <= wal_checkpoint_seq_) {
+      // Covered by the loaded image (a SaveState whose truncate failed).
+      continue;
+    }
+    XVR_RETURN_IF_ERROR(ApplyWalRecordLocked(record));
+    last_seq = record.seq;
+  }
+  XVR_ASSIGN_OR_RETURN(wal_, CatalogWal::Open(path, last_seq));
+  return Status::Ok();
 }
 
-ViewLookup Engine::MakeLookup() const {
-  // Quarantined views must never reach selection: resolving them to nullptr
-  // makes every selector skip them even if a stale id leaks into a
-  // candidate list.
-  return [this](int32_t id) -> const TreePattern* {
-    return quarantined_views_.count(id) > 0 ? nullptr : view(id);
-  };
+bool Engine::catalog_wal_enabled() const {
+  MutexLock lock(&catalog_mu_);
+  return wal_ != nullptr;
+}
+
+uint64_t Engine::catalog_wal_last_seq() const {
+  MutexLock lock(&catalog_mu_);
+  return wal_ == nullptr ? 0 : wal_->last_seq();
 }
 
 Result<SelectionResult> Engine::SelectViews(const TreePattern& query,
@@ -164,7 +223,9 @@ Result<SelectionResult> Engine::SelectViews(const TreePattern& query,
   // refer to it. AnswerQuery plans on the minimized pattern so that the
   // same pattern flows through selection and rewriting.
   ExecutionContext ctx;
-  return planner_->Select(query, strategy, stats, &ctx.nfa_scratch);
+  ctx.catalog = Catalog();  // lint:catalog-pin-ok (one snapshot per call)
+  return planner_->Select(*ctx.catalog, query, strategy, stats,
+                          &ctx.nfa_scratch);
 }
 
 Result<Engine::Answer> Engine::AnswerQuery(const TreePattern& query,
@@ -205,44 +266,65 @@ Result<std::vector<MaterializedAnswer>> Engine::AnswerQueryXml(
   ExecutionContext ctx;
   std::shared_ptr<const QueryPlan> plan;
   XVR_ASSIGN_OR_RETURN(plan, pipeline_->Plan(query, strategy, &ctx));
-  return AnswerWithViewsXml(plan->query, plan->selection, fragment_store_,
-                            *doc_.fst(), doc_.labels());
+  // Plan pinned the snapshot it planned against into ctx; materialize the
+  // answer from the same snapshot's fragments.
+  return AnswerWithViewsXml(plan->query, plan->selection,
+                            ctx.catalog->fragments, *doc_.fst(),
+                            doc_.labels());
 }
 
 Status Engine::SaveState(const std::string& path) const {
+  // The writer mutex makes the saved image + checkpoint atomic with respect
+  // to concurrent mutations (answering is unaffected: it reads snapshots).
+  MutexLock lock(&catalog_mu_);
+  const CatalogRef catalog = Catalog();  // lint:catalog-pin-ok (save source)
   KvStore kv;
   kv.Put("meta/doc", WriteXml(doc_, doc_.root()));
   // All views, including quarantined ones — their patterns survive the
   // round trip, marked so the restored engine quarantines them again.
   std::vector<int32_t> all_ids;
-  all_ids.reserve(views_.size());
-  for (const auto& [id, pattern] : views_) {  // sorted below (lint:ordered-ok)
+  all_ids.reserve(catalog->views.size());
+  for (const auto& [id, pattern] : catalog->views) {  // sorted below (lint:ordered-ok)
     (void)pattern;
     all_ids.push_back(id);
   }
   std::sort(all_ids.begin(), all_ids.end());
   for (const int32_t id : all_ids) {
-    const TreePattern& pattern = views_.at(id);
+    const TreePattern& pattern = catalog->views.at(id);
     const std::string key =
         "view/" + std::string(10 - std::min<size_t>(
                                        10, std::to_string(id).size()),
                               '0') +
         std::to_string(id);
     kv.Put(key, PatternToXPath(pattern, doc_.labels()));
-    if (quarantined_views_.count(id) > 0) {
+    if (catalog->quarantined_views.count(id) > 0) {
       kv.Put("viewmeta/" + std::to_string(id), "quarantined");
-    } else if (!fragment_store_.HasView(id)) {
+    } else if (!catalog->fragments.HasView(id)) {
       kv.Put("viewmeta/" + std::to_string(id), "pattern-only");
-    } else if (partial_views_.count(id) > 0) {
+    } else if (catalog->partial_views.count(id) > 0) {
       kv.Put("viewmeta/" + std::to_string(id), "codes-only");
     }
   }
-  kv.Put("meta/next_view_id", std::to_string(next_view_id_));
-  kv.Put("vfilter/image", SerializeVFilter(vfilter_));
-  XVR_RETURN_IF_ERROR(fragment_store_.SaveTo(&kv));
+  kv.Put("meta/next_view_id", std::to_string(catalog->next_view_id));
+  // The WAL checkpoint: this image covers every mutation up to wal_seq, so
+  // replay must skip records at or below it.
+  const uint64_t wal_seq =
+      wal_ != nullptr ? wal_->last_seq() : wal_checkpoint_seq_;
+  kv.Put("meta/wal_seq", std::to_string(wal_seq));
+  kv.Put("vfilter/image", SerializeVFilter(catalog->vfilter));
+  XVR_RETURN_IF_ERROR(catalog->fragments.SaveTo(&kv));
   // KvStore::SaveToFile writes via write-temp-then-rename with a trailing
   // checksum: a crash here cannot lose a previous good image.
-  return kv.SaveToFile(path);
+  XVR_RETURN_IF_ERROR(kv.SaveToFile(path));
+  wal_checkpoint_seq_ = wal_seq;
+  if (wal_ != nullptr) {
+    // The image is durable at this point. A failed truncate only leaves
+    // stale records behind, and those are at or below the checkpoint the
+    // image just recorded, so replay skips them — surface the error, but
+    // the state is safe either way.
+    XVR_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::Ok();
 }
 
 Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
@@ -261,6 +343,10 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
   // filter come from the image itself.
   auto engine = std::make_unique<Engine>(std::move(doc), std::move(options));
 
+  // The restored catalog is assembled privately and published once at the
+  // end: a reader of the returned engine only ever sees the complete state.
+  CatalogSnapshot next(engine->options_.vfilter);
+
   // Restore views (patterns re-parsed against the restored dictionary).
   Status status = Status::Ok();
   kv.ScanPrefix("view/", [&](const std::string& key,
@@ -272,7 +358,7 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
       status = pattern.status();
       return false;
     }
-    engine->views_.emplace(id, std::move(pattern).value());
+    next.views.emplace(id, std::move(pattern).value());
     return true;
   });
   XVR_RETURN_IF_ERROR(status);
@@ -280,17 +366,16 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
   // quarantined (dropped from serving with a warning) instead of failing
   // the whole restore.
   std::vector<int32_t> frag_quarantined;
-  XVR_RETURN_IF_ERROR(
-      engine->fragment_store_.LoadFrom(kv, &frag_quarantined));
+  XVR_RETURN_IF_ERROR(next.fragments.LoadFrom(kv, &frag_quarantined));
   kv.ScanPrefix("viewmeta/", [&](const std::string& key,
                                  const std::string& value) {
     const int32_t id =
         static_cast<int32_t>(std::atoi(key.substr(9).c_str()));
     if (value == "codes-only") {
-      engine->partial_views_.insert(id);
+      next.partial_views.insert(id);
     } else if (value == "quarantined") {
       // Quarantined before the save; stays quarantined after the restore.
-      engine->quarantined_views_.insert(id);
+      next.quarantined_views.insert(id);
     }
     return true;
   });
@@ -303,35 +388,53 @@ Result<std::unique_ptr<Engine>> Engine::LoadState(const std::string& path,
           ? DeserializeVFilter(*image)
           : Result<VFilter>(Status::ParseError("engine image has no VFilter"));
   if (filter.ok()) {
-    engine->vfilter_ = std::move(filter).value();
+    next.vfilter = std::move(filter).value();
   } else {
     XVR_LOG(WARNING) << "rebuilding VFILTER from the view catalog: "
                      << filter.status().message();
-    engine->vfilter_ = VFilter(engine->options_.vfilter);
-    for (const int32_t id : engine->view_ids()) {
-      engine->vfilter_.AddView(id, engine->views_.at(id));
+    next.vfilter = VFilter(engine->options_.vfilter);
+    for (const int32_t id : next.view_ids()) {
+      next.vfilter.AddView(id, next.views.at(id));
     }
     engine->vfilter_rebuilt_ = true;
   }
   // Quarantine: remove corrupt-fragment views from every selection-facing
-  // structure. Their patterns stay in views_ for diagnosis.
+  // structure. Their patterns stay in the views map for diagnosis.
   for (const int32_t id : frag_quarantined) {
-    engine->quarantined_views_.insert(id);
+    next.quarantined_views.insert(id);
   }
-  for (const int32_t id : engine->quarantined_views_) {
-    engine->vfilter_.RemoveView(id);
-    engine->fragment_store_.RemoveView(id);
-    engine->partial_views_.erase(id);
+  for (const int32_t id : next.quarantined_views) {  // lint:ordered-ok
+    next.vfilter.RemoveView(id);
+    next.fragments.RemoveView(id);
+    next.partial_views.erase(id);
   }
-  if (const std::string* next = kv.Get("meta/next_view_id")) {
-    engine->next_view_id_ = static_cast<int32_t>(std::atoi(next->c_str()));
+  if (const std::string* next_id = kv.Get("meta/next_view_id")) {
+    next.next_view_id = static_cast<int32_t>(std::atoi(next_id->c_str()));
   }
-  // The catalog was rebuilt wholesale: retire any plan cached against the
-  // pristine (empty) catalog the constructor produced.
-  engine->BumpCatalogVersion();
-  XVR_DEBUG_VALIDATE(ValidateVFilter(engine->vfilter_));
+  uint64_t wal_checkpoint = 0;
+  if (const std::string* wal_seq = kv.Get("meta/wal_seq")) {
+    wal_checkpoint = std::strtoull(wal_seq->c_str(), nullptr, 10);
+  }
+  {
+    MutexLock lock(&engine->catalog_mu_);
+    engine->wal_checkpoint_seq_ = wal_checkpoint;
+    // Publishing bumps the version, retiring any plan cached against the
+    // pristine (empty) catalog the constructor produced.
+    engine->PublishCatalog(std::move(next));
+  }
+  const CatalogRef restored = engine->Catalog();
+  XVR_DEBUG_VALIDATE(ValidateVFilter(restored->vfilter));
   XVR_DEBUG_VALIDATE(ValidateFragmentStore(
-      engine->fragment_store_, *engine->doc_.fst(), engine->MakeLookup()));
+      restored->fragments, *engine->doc_.fst(), restored->MakeLookup()));
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::LoadStateWithWal(
+    const std::string& path, const std::string& wal_path,
+    EngineOptions options) {
+  std::unique_ptr<Engine> engine;
+  XVR_ASSIGN_OR_RETURN(engine, LoadState(path, std::move(options)));
+  XVR_RETURN_IF_ERROR(engine->EnableCatalogWal(wal_path));
   return engine;
 }
 
@@ -346,8 +449,10 @@ Engine::BestEffortAnswer Engine::AnswerBestEffort(
     out.views_used = exact->stats.views_selected;
     return out;
   }
-  ContainedRewriteResult contained =
-      ContainedRewrite(query, view_ids(), MakeLookup(), fragment_store_);
+  // One snapshot for the whole fallback rewriting.
+  const CatalogRef catalog = Catalog();
+  ContainedRewriteResult contained = ContainedRewrite(
+      query, catalog->view_ids(), catalog->MakeLookup(), catalog->fragments);
   out.codes = std::move(contained.codes);
   out.exact = false;
   out.views_used = contained.views_used.size();

@@ -10,11 +10,26 @@
 // (query, strategy) into an immutable QueryPlan (VFILTER candidates +
 // selected views + compensations), an LRU PlanCache keyed on the canonical
 // pattern reuses plans across repeated queries, and a QueryPipeline
-// executes plans against the fragment store / base indexes. All shared
-// state is read-only while answering, so BatchAnswer can fan a workload
-// across a worker pool. Catalog mutations (AddView/RemoveView) bump a
-// version counter that lazily invalidates cached plans; they must not run
-// concurrently with answering.
+// executes plans against the fragment store / base indexes.
+//
+// Online catalog evolution: the whole view catalog (patterns, VFILTER,
+// fragments) lives in an immutable CatalogSnapshot published RCU-style
+// behind a tiny pointer mutex (a reader's critical section is one
+// shared_ptr copy). Every query pins exactly one snapshot in
+// its ExecutionContext and answers against it end to end, so
+// AddView/RemoveView are safe to run fully concurrently with
+// AnswerQuery/BatchAnswer: readers never block on a mutation, never see a
+// half-applied one, and never lose a view out from under a join (the pin
+// keeps it alive). Writers serialize on an internal mutex, build the
+// successor snapshot copy-on-write (fragment vectors are shared, see
+// storage/fragment_store.h) and swap it in with a bumped version, which
+// also lazily invalidates cached plans.
+//
+// Durability: with EnableCatalogWal, every mutation appends one checksummed
+// record to a write-ahead log *before* its snapshot is published, SaveState
+// checkpoints and truncates the log, and enabling the WAL on a freshly
+// loaded engine replays the tail — so a crash at any point loses at most
+// the single in-flight mutation (storage/catalog_wal.h).
 //
 // Typical use:
 //
@@ -25,16 +40,16 @@
 //   auto answer = engine.AnswerQuery(*query, AnswerStrategy::kHeuristicFiltered);
 //   // answer->codes == the extended Dewey codes of the query result.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/catalog.h"
 #include "core/pipeline.h"
 #include "core/planner.h"
 #include "exec/evaluator.h"
@@ -42,6 +57,7 @@
 #include "rewrite/contained.h"
 #include "rewrite/rewriter.h"
 #include "selection/answerability.h"
+#include "storage/catalog_wal.h"
 #include "storage/fragment_store.h"
 #include "storage/materializer.h"
 #include "vfilter/vfilter.h"
@@ -77,8 +93,11 @@ class Engine {
 
   // --- view catalog ---------------------------------------------------------
   //
-  // Catalog mutations are NOT safe to run concurrently with answering; they
-  // bump the catalog version, which invalidates cached plans lazily.
+  // Catalog mutations are safe to run concurrently with answering: each one
+  // publishes a successor snapshot; in-flight queries keep the snapshot
+  // they pinned. Mutations serialize against each other on an internal
+  // writer mutex. With a WAL enabled, the mutation is logged before it is
+  // published and fails (unpublished) if the log append fails.
 
   // Materializes and indexes a view. Fails with NOT_FOUND for empty results
   // and CAPACITY_EXCEEDED when the per-view fragment budget is hit.
@@ -89,30 +108,59 @@ class Engine {
   // but can only anchor at query nodes with nothing to check below them.
   Result<int32_t> AddViewCodesOnly(TreePattern view);
 
-  bool IsViewPartial(int32_t id) const {
-    return partial_views_.count(id) > 0;
-  }
+  bool IsViewPartial(int32_t id) const { return Catalog()->IsViewPartial(id); }
 
   // Indexes a view pattern in VFILTER without materializing fragments
-  // (enough for the filtering experiments, Figs. 10-12).
-  int32_t AddViewPattern(TreePattern view);
+  // (enough for the filtering experiments, Figs. 10-12). Such a view shows
+  // up in VFILTER candidate sets but is never *selected* for answering —
+  // there are no fragments to execute against. Only fails when a WAL is
+  // enabled and the append fails.
+  Result<int32_t> AddViewPattern(TreePattern view);
 
-  void RemoveView(int32_t id);
+  // Drops a view from the catalog. NOT_FOUND when `id` names no view
+  // (known ids include quarantined ones); IO_ERROR when the WAL append
+  // fails (the view is then still present).
+  Status RemoveView(int32_t id);
 
-  const TreePattern* view(int32_t id) const;
-  size_t num_views() const { return views_.size(); }
+  // The pattern of a known view (quarantined included), nullptr otherwise.
+  // The pointee lives inside the current snapshot: it stays valid until the
+  // next catalog mutation. Concurrent callers should pin Catalog() and use
+  // CatalogSnapshot::view instead.
+  const TreePattern* view(int32_t id) const { return Catalog()->view(id); }
+  size_t num_views() const { return Catalog()->views.size(); }
   // Sorted ascending (deterministic selection tie-breaking and output).
-  std::vector<int32_t> view_ids() const;
+  std::vector<int32_t> view_ids() const { return Catalog()->view_ids(); }
 
-  // Bumped by every catalog mutation; cached plans from older versions are
-  // never served.
-  uint64_t catalog_version() const {
-    return catalog_version_.load(std::memory_order_acquire);
+  // Version of the current catalog snapshot; bumped by every mutation.
+  // Cached plans from older versions are never served.
+  uint64_t catalog_version() const { return Catalog()->version; }
+
+  // The current published snapshot. Holding the returned CatalogRef pins
+  // every view in it (patterns, VFILTER, fragments) for as long as the
+  // caller keeps it, regardless of concurrent mutations.
+  CatalogRef Catalog() const XVR_EXCLUDES(published_mu_) {
+    MutexLock lock(&published_mu_);
+    return catalog_;
   }
+
+  // --- durability (catalog WAL) --------------------------------------------
+
+  // Enables the catalog write-ahead log at `path` (created when absent).
+  // Any intact records already in the log with sequence numbers above the
+  // loaded image's checkpoint are replayed into the catalog first — this is
+  // the crash-recovery path — then every subsequent mutation is appended
+  // before it is published. Call once, before serving mutations; typically
+  // right after construction or LoadState.
+  Status EnableCatalogWal(const std::string& path);
+
+  // Whether a WAL is enabled, and the highest sequence number appended.
+  bool catalog_wal_enabled() const;
+  uint64_t catalog_wal_last_seq() const;
 
   // --- answering ------------------------------------------------------------
   //
-  // The read path is const: answering never mutates engine state other than
+  // The read path is const and snapshot-isolated: answering pins one
+  // catalog snapshot per query and never mutates engine state other than
   // the internally synchronized plan cache.
 
   using Answer = QueryAnswer;
@@ -176,19 +224,34 @@ class Engine {
   // while the engine keeps answering from the remaining views. Only a
   // corrupt document (or a torn image, caught by the checksum) fails the
   // load.
+  //
+  // With a WAL enabled, a successful SaveState checkpoints the image at the
+  // WAL's last sequence number and truncates the log; if only the truncate
+  // fails its error is returned, but the image is durable and the stale
+  // records are skipped on replay (they are at or below the checkpoint).
 
   Status SaveState(const std::string& path) const;
   static Result<std::unique_ptr<Engine>> LoadState(const std::string& path,
                                                    EngineOptions options = {});
+
+  // LoadState + EnableCatalogWal(wal_path) in one step: restores the image,
+  // replays the WAL tail (mutations since the last SaveState) and keeps the
+  // log enabled for subsequent mutations. The standard crash-recovery
+  // entry point.
+  static Result<std::unique_ptr<Engine>> LoadStateWithWal(
+      const std::string& path, const std::string& wal_path,
+      EngineOptions options = {});
 
   // Views quarantined by LoadState (corrupt fragments), sorted ascending.
   // Their patterns remain visible through view(id) for diagnosis, but they
   // are excluded from view_ids(), the planner's lookup and VFILTER, so no
   // plan ever selects them. Re-adding a fresh view under a new id is the
   // way back.
-  std::vector<int32_t> quarantined_view_ids() const;
+  std::vector<int32_t> quarantined_view_ids() const {
+    return Catalog()->quarantined_view_ids();
+  }
   bool IsViewQuarantined(int32_t id) const {
-    return quarantined_views_.count(id) > 0;
+    return Catalog()->IsViewQuarantined(id);
   }
 
   // True when LoadState could not decode the persisted VFILTER image and
@@ -196,34 +259,64 @@ class Engine {
   bool vfilter_rebuilt() const { return vfilter_rebuilt_; }
 
   // --- component access (benches, tests) ------------------------------------
+  //
+  // Convenience references into the *current* snapshot: stable only until
+  // the next catalog mutation. Code that answers concurrently with
+  // mutations must pin Catalog() instead.
 
-  const VFilter& vfilter() const { return vfilter_; }
+  const VFilter& vfilter() const { return Catalog()->vfilter; }
   const BaseEvaluator& base() const { return base_; }
-  const FragmentStore& fragments() const { return fragment_store_; }
+  const FragmentStore& fragments() const { return Catalog()->fragments; }
   const QueryPipeline& pipeline() const { return *pipeline_; }
   const Planner& planner() const { return *planner_; }
   // nullptr when plan caching is disabled (plan_cache_capacity == 0).
   PlanCache* plan_cache() const { return plan_cache_.get(); }
 
  private:
-  ViewLookup MakeLookup() const;
-  void BumpCatalogVersion() {
-    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
-  }
+  // Deep-copies the current snapshot as the writer's successor scratch
+  // (fragment vectors shared, everything else copied).
+  CatalogSnapshot CloneCatalog() const XVR_REQUIRES(catalog_mu_);
+
+  // Stamps the successor's version and swaps it in.
+  void PublishCatalog(CatalogSnapshot next) XVR_REQUIRES(catalog_mu_);
+
+  // The shared mutation body: installs `view` under `forced_id` (or the
+  // next free id when < 0), appends to the WAL when `log_to_wal`, then
+  // publishes. `op` selects full/codes-only/pattern-only materialization.
+  Result<int32_t> AddViewLocked(TreePattern view, CatalogWalOp op,
+                                int32_t forced_id, bool log_to_wal)
+      XVR_REQUIRES(catalog_mu_);
+  Status RemoveViewLocked(int32_t id, bool log_to_wal)
+      XVR_REQUIRES(catalog_mu_);
+
+  // Replays one WAL record (no re-append).
+  Status ApplyWalRecordLocked(const CatalogWalRecord& record)
+      XVR_REQUIRES(catalog_mu_);
 
   XmlTree doc_;
   EngineOptions options_;
   BaseEvaluator base_;
-  VFilter vfilter_;
-  FragmentStore fragment_store_;
-  std::unordered_map<int32_t, TreePattern> views_;
-  std::unordered_set<int32_t> partial_views_;  // codes-only materialization
-  // Views LoadState removed from serving (corrupt fragments). Patterns stay
-  // in views_ for diagnosis; everything selection-facing excludes them.
-  std::unordered_set<int32_t> quarantined_views_;
   bool vfilter_rebuilt_ = false;
-  int32_t next_view_id_ = 0;
-  std::atomic<uint64_t> catalog_version_{0};
+
+  // The published catalog, behind its own tiny mutex: both sides only ever
+  // copy/assign a shared_ptr inside the critical section, so readers wait
+  // nanoseconds, never for a mutation in progress (all mutation work runs
+  // off-lock on the writer's private successor). Deliberately not
+  // std::atomic<shared_ptr>: libstdc++'s lock-bit implementation releases
+  // its load() with memory_order_relaxed, which leaves the internal pointer
+  // read/write pair without a happens-before edge — a C++-level data race
+  // that ThreadSanitizer (correctly) reports. Old snapshots die when the
+  // last pinned reader drops them. Lock order: catalog_mu_ → published_mu_.
+  mutable Mutex published_mu_;
+  CatalogRef catalog_ XVR_GUARDED_BY(published_mu_);
+
+  // Serializes catalog writers (AddView/RemoveView/LoadState install/WAL
+  // replay/SaveState checkpointing).
+  mutable Mutex catalog_mu_;
+  std::unique_ptr<CatalogWal> wal_ XVR_GUARDED_BY(catalog_mu_);
+  // Highest WAL sequence number covered by the last saved (or loaded)
+  // image; replay skips records at or below it.
+  mutable uint64_t wal_checkpoint_seq_ XVR_GUARDED_BY(catalog_mu_) = 0;
 
   // The staged read path (construction order: after the components above).
   std::unique_ptr<Planner> planner_;

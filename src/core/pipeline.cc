@@ -17,9 +17,8 @@ namespace xvr {
 QueryPipeline::QueryPipeline(Deps deps) : deps_(std::move(deps)) {
   XVR_CHECK(deps_.planner != nullptr);
   XVR_CHECK(deps_.base != nullptr);
-  XVR_CHECK(deps_.fragments != nullptr);
   XVR_CHECK(deps_.doc != nullptr);
-  XVR_CHECK(deps_.catalog_version != nullptr);
+  XVR_CHECK(deps_.catalog != nullptr);
 }
 
 Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
@@ -33,7 +32,11 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   XVR_RETURN_IF_ERROR(CheckInterrupted(ctx->limits, "pipeline.plan"));
   XVR_FAULT_POINT("pipeline.plan",
                   return Status::Internal("injected: pipeline.plan"));
-  const uint64_t version = deps_.catalog_version();
+  if (ctx->catalog == nullptr) {
+    ctx->catalog = deps_.catalog();  // lint:catalog-pin-ok (direct Plan call)
+  }
+  const CatalogSnapshot& catalog = *ctx->catalog;
+  const uint64_t version = catalog.version;
   std::string key;
   if (deps_.cache != nullptr) {
     key = PlanCacheKey(query, strategy);
@@ -47,7 +50,7 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   }
   QueryPlan plan;
   XVR_ASSIGN_OR_RETURN(
-      plan, deps_.planner->BuildPlan(query, strategy, version,
+      plan, deps_.planner->BuildPlan(catalog, query, strategy,
                                      &ctx->nfa_scratch, ctx->limits));
   // The plan's (possibly minimized) pattern is what selection indexed and
   // what execution will embed — it must still be a well-formed pattern.
@@ -69,6 +72,9 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
   XVR_RETURN_IF_ERROR(CheckInterrupted(ctx->limits, "pipeline.execute"));
   XVR_FAULT_POINT("pipeline.execute",
                   return Status::Internal("injected: pipeline.execute"));
+  if (ctx->catalog == nullptr) {
+    ctx->catalog = deps_.catalog();  // lint:catalog-pin-ok (direct Execute)
+  }
   QueryAnswer answer;
   answer.stats = plan.plan_stats;
   WallTimer timer;
@@ -94,7 +100,7 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
   RewriteOptions rewrite_options;
   rewrite_options.limits = ctx->limits;
   Result<std::vector<DeweyCode>> codes =
-      AnswerWithViews(plan.query, plan.selection, *deps_.fragments,
+      AnswerWithViews(plan.query, plan.selection, ctx->catalog->fragments,
                       *deps_.doc->fst(), &answer.stats.rewrite,
                       rewrite_options);
   answer.stats.execution_micros = timer.ElapsedMicros();
@@ -112,6 +118,10 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
                                           AnswerStrategy strategy,
                                           ExecutionContext* ctx) const {
   WallTimer total;
+  // The pin: exactly one snapshot per query. Planning and execution both
+  // read it, so a concurrent catalog mutation can neither tear this query
+  // nor free a view it joins over.
+  ctx->catalog = deps_.catalog();  // lint:catalog-pin-ok (the per-query pin)
   std::shared_ptr<const QueryPlan> plan;
   bool cache_hit = false;
   XVR_ASSIGN_OR_RETURN(plan, Plan(query, strategy, ctx, &cache_hit));

@@ -4,14 +4,17 @@
 // The staged query pipeline: plan (VFILTER + selection, cacheable) then
 // execute (fragment refinement/join or base scan).
 //
-// Thread-safety contract: every component the pipeline reads — the VFILTER
-// NFA, the selectors, the rewriter, the fragment store, the base-data
-// indexes — is const during answering; all per-call mutable scratch lives
-// in an ExecutionContext owned by the calling thread. One pipeline can
-// therefore serve any number of threads concurrently, which is what
-// BatchAnswer exploits: it fans a batch of queries across a small worker
-// pool, each worker carrying its own context, all sharing the plans in the
-// PlanCache.
+// Thread-safety contract: at the start of every Answer the pipeline pins
+// the current immutable CatalogSnapshot (views + VFILTER + fragments) into
+// the caller's ExecutionContext and both stages read only that snapshot;
+// all per-call mutable scratch lives in the same context, owned by the
+// calling thread. Catalog mutations may therefore run fully concurrently
+// with answering — a mutation publishes a successor snapshot that only
+// queries pinned *after* it observe, while in-flight queries keep their
+// snapshot (and every view in it) alive until they finish. One pipeline
+// serves any number of threads at once, which is what BatchAnswer
+// exploits: it fans a batch of queries across a small worker pool, each
+// worker carrying its own context, all sharing the plans in the PlanCache.
 
 #include <cstdint>
 #include <functional>
@@ -21,8 +24,8 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "core/catalog.h"
 #include "core/planner.h"
-#include "storage/fragment_store.h"
 #include "vfilter/nfa.h"
 #include "xml/dewey.h"
 #include "xml/xml_tree.h"
@@ -39,6 +42,11 @@ struct ExecutionContext {
   // context. Checked at stage boundaries and inside the hot loops; see
   // common/deadline.h. Defaults impose no limit.
   QueryLimits limits;
+  // The catalog snapshot this call answers against. Answer() re-pins the
+  // current snapshot on entry; a direct Plan()/Execute() call pins lazily
+  // and keeps whatever is already pinned (so a caller can deliberately
+  // plan and execute against one snapshot across several calls).
+  CatalogRef catalog;
 };
 
 // What AnswerQuery returns: the extended Dewey codes of the query result
@@ -51,16 +59,16 @@ struct QueryAnswer {
 class QueryPipeline {
  public:
   // All pointers must outlive the pipeline. `cache` may be nullptr to
-  // disable plan caching. `catalog_version` reports the current view
-  // catalog version (bumped by AddView/RemoveView) and is consulted on
-  // every cache lookup/insert.
+  // disable plan caching. `catalog` returns the engine's current published
+  // CatalogSnapshot; the pipeline calls it exactly once per query (the pin)
+  // and reads views, VFILTER and fragments only through the pinned
+  // snapshot, whose version also drives cache lookup/insert.
   struct Deps {
     const Planner* planner = nullptr;
     PlanCache* cache = nullptr;
     const BaseEvaluator* base = nullptr;
-    const FragmentStore* fragments = nullptr;
     const XmlTree* doc = nullptr;
-    std::function<uint64_t()> catalog_version;
+    std::function<CatalogRef()> catalog;
   };
 
   explicit QueryPipeline(Deps deps);

@@ -73,19 +73,27 @@ const char* AnswerStrategyName(AnswerStrategy strategy) {
   return "?";
 }
 
-Planner::Planner(PlannerCatalog catalog) : catalog_(std::move(catalog)) {}
+Planner::Planner(PlannerOptions options) : options_(options) {}
 
-Result<SelectionResult> Planner::Select(const TreePattern& query,
+Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
+                                        const TreePattern& query,
                                         AnswerStrategy strategy,
                                         AnswerStats* stats,
                                         NfaReadScratch* scratch,
                                         const QueryLimits& limits) const {
+  // Per-call resolvers over the pinned snapshot. They capture `catalog` by
+  // reference and never outlive this call; the caller keeps the snapshot
+  // pinned for the whole query.
+  const ViewLookup lookup = catalog.MakeLookup();
+  const PartialLookup is_partial = [&catalog](int32_t id) {
+    return catalog.IsViewPartial(id);
+  };
   WallTimer timer;
   switch (strategy) {
     case AnswerStrategy::kMinimumNoFilter: {
-      const std::vector<int32_t> ids = catalog_.view_ids();
+      const std::vector<int32_t> ids = catalog.view_ids();
       Result<SelectionResult> selection =
-          SelectMinimum(query, ids, catalog_.lookup, catalog_.is_partial,
+          SelectMinimum(query, ids, lookup, is_partial,
                         ExhaustiveLimits(limits));
       stats->selection_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = ids.size();
@@ -99,14 +107,14 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
         timer.Restart();
         FilterResult filtered;
         XVR_ASSIGN_OR_RETURN(
-            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+            filtered, catalog.vfilter.Filter(query, scratch, limits));
         stats->filter_micros = timer.ElapsedMicros();
         stats->candidates_after_filter = filtered.candidates.size();
         timer.Restart();
         HeuristicOptions options;
-        options.is_partial = catalog_.is_partial;
+        options.is_partial = is_partial;
         options.limits = limits;
-        selection = SelectHeuristic(query, filtered, catalog_.lookup, options);
+        selection = SelectHeuristic(query, filtered, lookup, options);
         stats->selection_micros += timer.ElapsedMicros();
       }
       if (selection.ok()) {
@@ -122,24 +130,24 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
       if (filter_poisoned) {
         // Fault-injected VFILTER outage: plan over the whole catalog.
         stats->degraded_unfiltered = true;
-        filtered = UnfilteredFallback(query, catalog_.view_ids());
+        filtered = UnfilteredFallback(query, catalog.view_ids());
       } else {
         XVR_ASSIGN_OR_RETURN(
-            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+            filtered, catalog.vfilter.Filter(query, scratch, limits));
       }
       stats->filter_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = filtered.candidates.size();
       timer.Restart();
       Result<SelectionResult> selection =
-          SelectMinimum(query, filtered.candidates, catalog_.lookup,
-                        catalog_.is_partial, ExhaustiveLimits(limits));
+          SelectMinimum(query, filtered.candidates, lookup,
+                        is_partial, ExhaustiveLimits(limits));
       if (!selection.ok() &&
           ShouldDegradeExhaustive(selection.status(), limits)) {
         stats->degraded_selection = true;
         HeuristicOptions options;
-        options.is_partial = catalog_.is_partial;
+        options.is_partial = is_partial;
         options.limits = limits;
-        selection = SelectHeuristic(query, filtered, catalog_.lookup, options);
+        selection = SelectHeuristic(query, filtered, lookup, options);
       }
       stats->selection_micros = timer.ElapsedMicros();
       if (selection.ok()) {
@@ -155,23 +163,25 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
       FilterResult filtered;
       if (filter_poisoned) {
         stats->degraded_unfiltered = true;
-        filtered = UnfilteredFallback(query, catalog_.view_ids());
+        filtered = UnfilteredFallback(query, catalog.view_ids());
       } else {
         XVR_ASSIGN_OR_RETURN(
-            filtered, catalog_.vfilter->Filter(query, scratch, limits));
+            filtered, catalog.vfilter.Filter(query, scratch, limits));
       }
       stats->filter_micros = timer.ElapsedMicros();
       stats->candidates_after_filter = filtered.candidates.size();
       timer.Restart();
       HeuristicOptions options;
-      options.is_partial = catalog_.is_partial;
+      options.is_partial = is_partial;
       options.limits = limits;
       if (strategy == AnswerStrategy::kHeuristicSmallFragments) {
         options.order = HeuristicOptions::Order::kFragmentBytes;
-        options.view_bytes = catalog_.view_bytes;
+        options.view_bytes = [&catalog](int32_t id) {
+          return catalog.fragments.ViewByteSize(id);
+        };
       }
       Result<SelectionResult> selection =
-          SelectHeuristic(query, filtered, catalog_.lookup, options);
+          SelectHeuristic(query, filtered, lookup, options);
       stats->selection_micros = timer.ElapsedMicros();
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
@@ -188,16 +198,16 @@ Result<SelectionResult> Planner::Select(const TreePattern& query,
   return Status::Internal("unknown strategy");
 }
 
-Result<QueryPlan> Planner::BuildPlan(const TreePattern& query,
+Result<QueryPlan> Planner::BuildPlan(const CatalogSnapshot& catalog,
+                                     const TreePattern& query,
                                      AnswerStrategy strategy,
-                                     uint64_t catalog_version,
                                      NfaReadScratch* scratch,
                                      const QueryLimits& limits) const {
   QueryPlan plan;
   plan.query = query;
   plan.strategy = strategy;
-  plan.catalog_version = catalog_version;
-  if (catalog_.minimize_patterns) {
+  plan.catalog_version = catalog.version;
+  if (options_.minimize_patterns) {
     MinimizePattern(&plan.query);
   }
   if (IsBaseStrategy(strategy)) {
@@ -212,7 +222,8 @@ Result<QueryPlan> Planner::BuildPlan(const TreePattern& query,
   plan.uses_views = true;
   XVR_ASSIGN_OR_RETURN(
       plan.selection,
-      Select(plan.query, strategy, &plan.plan_stats, scratch, limits));
+      Select(catalog, plan.query, strategy, &plan.plan_stats, scratch,
+             limits));
   plan.degraded = plan.plan_stats.degraded_selection ||
                   plan.plan_stats.degraded_unfiltered;
   return plan;

@@ -11,12 +11,15 @@
 // immutable once built, so they can be shared across threads and cached
 // across calls; executing a plan never mutates it.
 //
-// The Planner itself is const-correct and thread-safe: it holds read-only
-// accessors into the engine's catalog and routes all NFA runtime state into
-// a caller-provided NfaReadScratch. PlanCache is an LRU keyed on the query
-// pattern's canonical key + strategy; entries carry the catalog version they
-// were planned against and are dropped lazily when the catalog has changed
-// (AddView/RemoveView bump the version).
+// The Planner itself is const-correct, stateless and thread-safe: every
+// call plans against an explicit, immutable CatalogSnapshot pinned by the
+// caller (one per query, see core/catalog.h), and all NFA runtime state
+// lives in a caller-provided NfaReadScratch. Catalog mutations therefore
+// never race planning — a plan observes exactly one published catalog.
+// PlanCache is an LRU keyed on the query pattern's canonical key +
+// strategy; entries carry the catalog version they were planned against
+// and are dropped lazily when the catalog has changed (AddView/RemoveView
+// publish a successor snapshot with a bumped version).
 
 #include <cstdint>
 #include <functional>
@@ -29,6 +32,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "core/catalog.h"
 #include "exec/evaluator.h"
 #include "pattern/tree_pattern.h"
 #include "rewrite/rewriter.h"
@@ -114,29 +118,20 @@ struct QueryPlan {
   uint64_t catalog_version = 0;
 };
 
-// Read-only accessors into the owning engine's catalog. All callables must
-// be safe to invoke concurrently with other reads (they are only consulted
-// while the catalog is not being mutated).
-struct PlannerCatalog {
-  const VFilter* vfilter = nullptr;
-  ViewLookup lookup;
-  PartialLookup is_partial;
-  // Materialized byte size per view (the HB ordering); may be empty when HB
-  // is never used.
-  std::function<size_t(int32_t)> view_bytes;
-  // All view ids, sorted ascending (deterministic MN selection order).
-  std::function<std::vector<int32_t>()> view_ids;
+// Planner configuration (everything that is not per-call state).
+struct PlannerOptions {
   // Minimize query patterns before planning (paper §II assumption).
   bool minimize_patterns = true;
 };
 
 class Planner {
  public:
-  explicit Planner(PlannerCatalog catalog);
+  explicit Planner(PlannerOptions options = {});
 
   // Runs VFILTER + view selection for `query` exactly as given (no
   // minimization — the cover node indices in the result refer to the
-  // caller's pattern). Base strategies are INVALID_ARGUMENT.
+  // caller's pattern) against the pinned `catalog`. Base strategies are
+  // INVALID_ARGUMENT.
   //
   // `limits` governs planning: the deadline/cancel token are honored inside
   // filtering and selection, and exhaustive minimum-set selection (MN/MV)
@@ -144,21 +139,23 @@ class Planner {
   // slice expires (or the set-cover DP's universe overflows), the planner
   // *degrades* to the greedy heuristic over the same candidates and records
   // it in stats->degraded_selection rather than failing the query.
-  Result<SelectionResult> Select(const TreePattern& query,
+  Result<SelectionResult> Select(const CatalogSnapshot& catalog,
+                                 const TreePattern& query,
                                  AnswerStrategy strategy, AnswerStats* stats,
                                  NfaReadScratch* scratch,
                                  const QueryLimits& limits = QueryLimits()) const;
 
-  // Builds a complete plan: minimizes (when configured), classifies the
-  // strategy and, for view strategies, selects the view set.
-  Result<QueryPlan> BuildPlan(const TreePattern& query,
+  // Builds a complete plan against `catalog`: minimizes (when configured),
+  // classifies the strategy and, for view strategies, selects the view set.
+  // The plan records catalog.version for cache invalidation.
+  Result<QueryPlan> BuildPlan(const CatalogSnapshot& catalog,
+                              const TreePattern& query,
                               AnswerStrategy strategy,
-                              uint64_t catalog_version,
                               NfaReadScratch* scratch,
                               const QueryLimits& limits = QueryLimits()) const;
 
  private:
-  PlannerCatalog catalog_;
+  PlannerOptions options_;
 };
 
 // Cache key of a (query, strategy) pair: the pattern's canonical structural

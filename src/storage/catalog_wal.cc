@@ -1,0 +1,160 @@
+#include "storage/catalog_wal.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/hash.h"
+
+namespace xvr {
+namespace {
+
+template <typename T>
+void PutScalar(T v, std::string* out) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+template <typename T>
+bool ReadScalar(const std::string& bytes, size_t* pos, T* v) {
+  if (*pos + sizeof(*v) > bytes.size()) {
+    return false;
+  }
+  std::memcpy(v, bytes.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+// Decodes one record body (everything between the length prefix and the
+// checksum). False on any malformation.
+bool DecodeBody(const std::string& body, CatalogWalRecord* record) {
+  size_t pos = 0;
+  uint8_t op = 0;
+  uint32_t xpath_len = 0;
+  if (!ReadScalar(body, &pos, &record->seq) || !ReadScalar(body, &pos, &op) ||
+      !ReadScalar(body, &pos, &record->view_id) ||
+      !ReadScalar(body, &pos, &xpath_len)) {
+    return false;
+  }
+  if (op > static_cast<uint8_t>(CatalogWalOp::kRemoveView)) {
+    return false;
+  }
+  if (pos + xpath_len != body.size()) {
+    return false;
+  }
+  record->op = static_cast<CatalogWalOp>(op);
+  record->xpath = body.substr(pos, xpath_len);
+  return true;
+}
+
+}  // namespace
+
+const char* CatalogWalOpName(CatalogWalOp op) {
+  switch (op) {
+    case CatalogWalOp::kAddView:
+      return "add-view";
+    case CatalogWalOp::kAddViewCodesOnly:
+      return "add-view-codes-only";
+    case CatalogWalOp::kAddViewPattern:
+      return "add-view-pattern";
+    case CatalogWalOp::kRemoveView:
+      return "remove-view";
+  }
+  return "?";
+}
+
+std::string EncodeCatalogWalRecord(const CatalogWalRecord& record) {
+  std::string body;
+  PutScalar(record.seq, &body);
+  PutScalar(static_cast<uint8_t>(record.op), &body);
+  PutScalar(record.view_id, &body);
+  PutScalar(static_cast<uint32_t>(record.xpath.size()), &body);
+  body.append(record.xpath);
+
+  std::string out;
+  PutScalar(static_cast<uint32_t>(body.size()), &out);
+  out.append(body);
+  PutScalar(Fnv1a(body), &out);
+  return out;
+}
+
+Result<std::unique_ptr<CatalogWal>> CatalogWal::Open(const std::string& path,
+                                                     uint64_t last_seq) {
+  // Touch the file so a log with zero mutations still exists on disk (an
+  // absent file and an empty log mean the same thing to ReadAll, but the
+  // open failure surfaces here, not on the first mutation).
+  std::ofstream touch(path, std::ios::binary | std::ios::app);
+  if (!touch) {
+    return Status::IoError("cannot open catalog WAL " + path);
+  }
+  touch.close();
+  return std::unique_ptr<CatalogWal>(new CatalogWal(path, last_seq));
+}
+
+Result<std::vector<CatalogWalRecord>> CatalogWal::ReadAll(
+    const std::string& path) {
+  XVR_FAULT_POINT("catalog_wal.replay",
+                  return Status::IoError("injected: catalog_wal.replay"));
+  std::vector<CatalogWalRecord> records;
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    return records;  // no log = empty log
+  }
+  probe.close();
+  std::string bytes;
+  XVR_ASSIGN_OR_RETURN(bytes, ReadFileToString(path));
+  size_t pos = 0;
+  uint64_t prev_seq = 0;
+  while (pos < bytes.size()) {
+    // Any malformation from here on is a torn tail: keep the intact prefix.
+    uint32_t body_len = 0;
+    if (!ReadScalar(bytes, &pos, &body_len) ||
+        pos + body_len + sizeof(uint64_t) > bytes.size()) {
+      break;
+    }
+    const std::string body = bytes.substr(pos, body_len);
+    pos += body_len;
+    uint64_t checksum = 0;
+    if (!ReadScalar(bytes, &pos, &checksum) || checksum != Fnv1a(body)) {
+      break;
+    }
+    CatalogWalRecord record;
+    if (!DecodeBody(body, &record)) {
+      break;
+    }
+    if (!records.empty() && record.seq <= prev_seq) {
+      break;  // sequence must strictly increase; anything else is rot
+    }
+    prev_seq = record.seq;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<uint64_t> CatalogWal::Append(CatalogWalOp op, int32_t view_id,
+                                    const std::string& xpath) {
+  CatalogWalRecord record;
+  record.seq = last_seq_ + 1;
+  record.op = op;
+  record.view_id = view_id;
+  record.xpath = xpath;
+  XVR_RETURN_IF_ERROR(AppendToFile(path_, EncodeCatalogWalRecord(record),
+                                   "catalog_wal.append"));
+  last_seq_ = record.seq;
+  return record.seq;
+}
+
+Status CatalogWal::Truncate() {
+  XVR_FAULT_POINT("catalog_wal.truncate",
+                  return Status::IoError("injected: catalog_wal.truncate"));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot truncate catalog WAL " + path_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace xvr

@@ -1,0 +1,99 @@
+#ifndef XVR_STORAGE_CATALOG_WAL_H_
+#define XVR_STORAGE_CATALOG_WAL_H_
+
+// The catalog write-ahead log: durability for view mutations between full
+// SaveState images.
+//
+// Every AddView/AddViewCodesOnly/AddViewPattern/RemoveView appends one
+// checksummed record here *before* the successor catalog snapshot is
+// published, so a crash at any point loses at most the single in-flight
+// mutation. A record carries only what is needed to replay the mutation
+// deterministically against the base document — the (minimized) view
+// pattern as XPath, the assigned id and the materialization mode; the
+// fragments themselves are derived data and are re-materialized on replay.
+//
+// On-disk format, per record (little-endian):
+//
+//   u32 body_len | body | u64 fnv1a(body)
+//   body = u64 seq | u8 op | i32 view_id | u32 xpath_len | xpath bytes
+//
+// Sequence numbers are strictly increasing across the life of the engine
+// (they do NOT reset on Truncate), which lets a SaveState image record the
+// last sequence it covers ("meta/wal_seq"): replay skips records at or
+// below that checkpoint, so even a failed post-save Truncate — stale
+// records left behind — cannot double-apply a mutation.
+//
+// ReadAll stops at the first torn or corrupt record and returns the intact
+// prefix: a crash mid-append surfaces as a lost tail, never as a decode
+// error, and recovery is always equivalent to some prefix of the mutation
+// sequence.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xvr {
+
+enum class CatalogWalOp : uint8_t {
+  kAddView = 0,           // materialize fragments + index in VFILTER
+  kAddViewCodesOnly = 1,  // §VII partial materialization
+  kAddViewPattern = 2,    // VFILTER-only (no fragments)
+  kRemoveView = 3,
+};
+
+const char* CatalogWalOpName(CatalogWalOp op);
+
+struct CatalogWalRecord {
+  uint64_t seq = 0;
+  CatalogWalOp op = CatalogWalOp::kAddView;
+  int32_t view_id = -1;
+  std::string xpath;  // empty for kRemoveView
+};
+
+class CatalogWal {
+ public:
+  // Opens `path` for appending, creating it if absent. Existing records are
+  // not interpreted here — callers ReadAll() first and pass the highest
+  // sequence number already on disk (or the image checkpoint, whichever is
+  // larger) so new appends continue the strictly increasing sequence.
+  static Result<std::unique_ptr<CatalogWal>> Open(const std::string& path,
+                                                  uint64_t last_seq);
+
+  // Decodes every intact record of `path` in order. A missing file is an
+  // empty log. Decoding stops silently at the first torn/corrupt record or
+  // non-increasing sequence number (the crash tail); everything before it
+  // is returned.
+  static Result<std::vector<CatalogWalRecord>> ReadAll(const std::string& path);
+
+  // Appends one record with the next sequence number, flushed to the OS
+  // before returning. Transient I/O failures are retried with capped
+  // exponential backoff (common/file_util.h); a final failure leaves the
+  // log unchanged (the partial record, if any, is a torn tail that ReadAll
+  // drops) and the mutation must not be published.
+  Result<uint64_t> Append(CatalogWalOp op, int32_t view_id,
+                          const std::string& xpath);
+
+  // Empties the log (after a successful SaveState covered its records).
+  // Sequence numbers keep increasing across truncations.
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  CatalogWal(std::string path, uint64_t last_seq)
+      : path_(std::move(path)), last_seq_(last_seq) {}
+
+  std::string path_;
+  uint64_t last_seq_ = 0;
+};
+
+// Serialization of a single record (exposed for tests and validation).
+std::string EncodeCatalogWalRecord(const CatalogWalRecord& record);
+
+}  // namespace xvr
+
+#endif  // XVR_STORAGE_CATALOG_WAL_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_set>
+#include <utility>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -24,39 +25,85 @@ std::string FragmentKey(int32_t view_id, size_t seq) {
   return buf;
 }
 
+void SortByRoot(std::vector<Fragment>* fragments) {
+  std::sort(fragments->begin(), fragments->end(),
+            [](const Fragment& a, const Fragment& b) {
+              return a.root_code() < b.root_code();
+            });
+}
+
 }  // namespace
+
+// The special members never hold two byte_size_mu_ instances at once: the
+// memo is read out under the source's lock, then installed under the
+// destination's. Nesting them (in any fixed order between two specific
+// objects) would put cycles into the process-wide lock-order graph as soon
+// as snapshots are cloned and moved in both directions.
+
+FragmentStore::FragmentStore(const FragmentStore& other)
+    : views_(other.views_) {
+  std::unordered_map<int32_t, size_t> memo;
+  {
+    MutexLock lock_other(&other.byte_size_mu_);
+    memo = other.byte_size_memo_;
+  }
+  MutexLock lock_this(&byte_size_mu_);
+  byte_size_memo_ = std::move(memo);
+}
+
+FragmentStore& FragmentStore::operator=(const FragmentStore& other) {
+  if (this != &other) {
+    views_ = other.views_;
+    std::unordered_map<int32_t, size_t> memo;
+    {
+      MutexLock lock_other(&other.byte_size_mu_);
+      memo = other.byte_size_memo_;
+    }
+    MutexLock lock_this(&byte_size_mu_);
+    byte_size_memo_ = std::move(memo);
+  }
+  return *this;
+}
 
 FragmentStore::FragmentStore(FragmentStore&& other) noexcept
     : views_(std::move(other.views_)) {
-  MutexLock lock_other(&other.byte_size_mu_);
+  std::unordered_map<int32_t, size_t> memo;
+  {
+    MutexLock lock_other(&other.byte_size_mu_);
+    memo = std::move(other.byte_size_memo_);
+    other.byte_size_memo_.clear();
+  }
   MutexLock lock_this(&byte_size_mu_);
-  byte_size_memo_ = std::move(other.byte_size_memo_);
+  byte_size_memo_ = std::move(memo);
 }
 
 FragmentStore& FragmentStore::operator=(FragmentStore&& other) noexcept {
   if (this != &other) {
     views_ = std::move(other.views_);
+    std::unordered_map<int32_t, size_t> memo;
+    {
+      MutexLock lock_other(&other.byte_size_mu_);
+      memo = std::move(other.byte_size_memo_);
+      other.byte_size_memo_.clear();
+    }
     MutexLock lock_this(&byte_size_mu_);
-    MutexLock lock_other(&other.byte_size_mu_);
-    byte_size_memo_ = std::move(other.byte_size_memo_);
+    byte_size_memo_ = std::move(memo);
   }
   return *this;
 }
 
 void FragmentStore::PutView(int32_t view_id,
                             std::vector<Fragment> fragments) {
-  std::sort(fragments.begin(), fragments.end(),
-            [](const Fragment& a, const Fragment& b) {
-              return a.root_code() < b.root_code();
-            });
-  views_[view_id] = std::move(fragments);
+  SortByRoot(&fragments);
+  views_[view_id] =
+      std::make_shared<const std::vector<Fragment>>(std::move(fragments));
   MutexLock lock(&byte_size_mu_);
   byte_size_memo_.erase(view_id);
 }
 
 const std::vector<Fragment>* FragmentStore::GetView(int32_t view_id) const {
   auto it = views_.find(view_id);
-  return it == views_.end() ? nullptr : &it->second;
+  return it == views_.end() ? nullptr : it->second.get();
 }
 
 bool FragmentStore::HasView(int32_t view_id) const {
@@ -77,8 +124,9 @@ size_t FragmentStore::ViewByteSize(int32_t view_id) const {
       return it->second;
     }
   }
-  // Computed outside the lock: views_ is immutable while readers run, and
-  // a racing duplicate computation just inserts the same value twice.
+  // Computed outside the lock: views_ is immutable once the store is
+  // published in a snapshot, and a racing duplicate computation just
+  // inserts the same value twice.
   const std::vector<Fragment>* fragments = GetView(view_id);
   if (fragments == nullptr) {
     return 0;
@@ -116,7 +164,7 @@ Status FragmentStore::SaveTo(KvStore* kv) const {
   // Sorted view order: the KvStore orders keys anyway, but inserting
   // deterministically keeps the save path reproducible across platforms.
   for (const int32_t view_id : view_ids()) {
-    const std::vector<Fragment>& fragments = views_.at(view_id);
+    const std::vector<Fragment>& fragments = *views_.at(view_id);
     kv->DeletePrefix(ViewPrefix(view_id));
     for (size_t i = 0; i < fragments.size(); ++i) {
       kv->Put(FragmentKey(view_id, i), fragments[i].Serialize());
@@ -143,6 +191,8 @@ Status FragmentStore::LoadFromImpl(const KvStore& kv,
     MutexLock lock(&byte_size_mu_);
     byte_size_memo_.clear();
   }
+  // Accumulated per view, then installed as shared immutable vectors.
+  std::unordered_map<int32_t, std::vector<Fragment>> loading;
   // Views already seen to be corrupt; later fragments of the same view are
   // skipped without re-reporting.
   std::unordered_set<int32_t> bad_views;
@@ -177,13 +227,13 @@ Status FragmentStore::LoadFromImpl(const KvStore& kv,
                          << fragment.status().message() << ")";
         bad_views.insert(view_id);
         quarantined->push_back(view_id);
-        views_.erase(view_id);
+        loading.erase(view_id);
         return true;
       }
       status = fragment.status();
       return false;
     }
-    views_[view_id].push_back(std::move(fragment).value());
+    loading[view_id].push_back(std::move(fragment).value());
     return true;
   });
   if (quarantined != nullptr) {
@@ -192,12 +242,10 @@ Status FragmentStore::LoadFromImpl(const KvStore& kv,
   // Keys scan in order, so per-view fragments are already Dewey-sorted only
   // if sequence order matched; re-sort to be safe. Per-view work, order of
   // iteration does not reach the output.  // lint:ordered-ok
-  for (auto& [view_id, fragments] : views_) {
-    (void)view_id;
-    std::sort(fragments.begin(), fragments.end(),
-              [](const Fragment& a, const Fragment& b) {
-                return a.root_code() < b.root_code();
-              });
+  for (auto& [view_id, fragments] : loading) {
+    SortByRoot(&fragments);
+    views_[view_id] =
+        std::make_shared<const std::vector<Fragment>>(std::move(fragments));
   }
   return status;
 }

@@ -5,12 +5,17 @@
 // of the fragment root (document order), and offers persistence through the
 // KvStore substrate.
 //
-// Thread-safety: the fragment map itself follows the engine-wide contract —
-// mutations (PutView/RemoveView/LoadFrom) are never concurrent with reads.
-// The only state mutated on the read path is the per-view byte-size memo
+// Thread-safety: a FragmentStore embedded in a published CatalogSnapshot is
+// immutable — mutations (PutView/RemoveView/LoadFrom) only ever run on the
+// writer's private successor copy, never on a store readers can see
+// (src/core/catalog.h). Copies are cheap: the per-view fragment vectors are
+// immutable once installed and shared between copies, so a snapshot copy is
+// O(#views) shared_ptr bookkeeping, not a fragment deep copy. The only
+// state mutated through a const store is the per-view byte-size memo
 // (ViewByteSize is called during planning by the HB strategy), which is
 // internally synchronized and annotated for the thread-safety analysis.
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -26,18 +31,23 @@ class FragmentStore {
  public:
   FragmentStore() = default;
 
-  // Movable (engine load paths); the byte-size mutex is not moved — moves
-  // only happen while no readers exist, per the engine-wide contract.
+  // Copyable: fragment vectors are shared (immutable once installed), the
+  // byte-size memo is copied under the source's lock. This is what makes
+  // copy-on-write catalog snapshots affordable.
+  FragmentStore(const FragmentStore& other);
+  FragmentStore& operator=(const FragmentStore& other);
   FragmentStore(FragmentStore&& other) noexcept;
   FragmentStore& operator=(FragmentStore&& other) noexcept;
-  FragmentStore(const FragmentStore&) = delete;
-  FragmentStore& operator=(const FragmentStore&) = delete;
 
   // Installs the fragments of `view_id` (replacing any previous ones).
-  // Fragments are sorted by root code internally.
+  // Fragments are sorted by root code internally. Stores sharing a fragment
+  // vector with this one are unaffected (the old vector stays alive for
+  // them).
   void PutView(int32_t view_id, std::vector<Fragment> fragments);
 
-  // nullptr when the view is not materialized.
+  // nullptr when the view is not materialized. The pointee is immutable and
+  // lives as long as any store sharing it — for snapshot readers, at least
+  // as long as the pinned snapshot.
   const std::vector<Fragment>* GetView(int32_t view_id) const;
 
   bool HasView(int32_t view_id) const;
@@ -68,9 +78,11 @@ class FragmentStore {
   Status LoadFrom(const KvStore& kv, std::vector<int32_t>* quarantined);
 
  private:
+  using FragmentsRef = std::shared_ptr<const std::vector<Fragment>>;
+
   Status LoadFromImpl(const KvStore& kv, std::vector<int32_t>* quarantined);
 
-  std::unordered_map<int32_t, std::vector<Fragment>> views_;
+  std::unordered_map<int32_t, FragmentsRef> views_;
   // view_id -> serialized size of its fragments, filled on first use.
   mutable Mutex byte_size_mu_;
   mutable std::unordered_map<int32_t, size_t> byte_size_memo_

@@ -47,10 +47,22 @@ TEST_F(EngineTest, AddEmptyViewFails) {
 TEST_F(EngineTest, RemoveView) {
   auto id = engine_.AddView(Parse("/r/s/p"));
   ASSERT_TRUE(id.ok());
-  engine_.RemoveView(*id);
+  EXPECT_TRUE(engine_.RemoveView(*id).ok());
   EXPECT_EQ(engine_.num_views(), 0u);
   EXPECT_EQ(engine_.view(*id), nullptr);
   EXPECT_FALSE(engine_.fragments().HasView(*id));
+}
+
+TEST_F(EngineTest, RemoveUnknownViewReportsNotFound) {
+  EXPECT_EQ(engine_.RemoveView(7).code(), StatusCode::kNotFound);
+  auto id = engine_.AddView(Parse("/r/s/p"));
+  ASSERT_TRUE(id.ok());
+  // Removing twice: the second call finds nothing and the catalog version
+  // only moves for the successful removal.
+  EXPECT_TRUE(engine_.RemoveView(*id).ok());
+  const uint64_t version = engine_.catalog_version();
+  EXPECT_EQ(engine_.RemoveView(*id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_.catalog_version(), version);
 }
 
 TEST_F(EngineTest, BaseStrategiesAgree) {
@@ -112,9 +124,10 @@ TEST_F(EngineTest, SelectViewsRejectsBaseStrategies) {
 }
 
 TEST_F(EngineTest, ViewPatternOnlyIndexing) {
-  const int32_t id = engine_.AddViewPattern(Parse("/r/s/p"));
+  auto id = engine_.AddViewPattern(Parse("/r/s/p"));
+  ASSERT_TRUE(id.ok()) << id.status();
   EXPECT_EQ(engine_.num_views(), 1u);
-  EXPECT_FALSE(engine_.fragments().HasView(id));
+  EXPECT_FALSE(engine_.fragments().HasView(*id));
   EXPECT_EQ(engine_.vfilter().num_views(), 1u);
 }
 

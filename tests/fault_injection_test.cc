@@ -170,6 +170,53 @@ TEST_F(FaultPointTest, AtomicWriteFaultPreservesTarget) {
   std::remove(path.c_str());
 }
 
+TEST_F(FaultPointTest, AtomicWriteRetryAbsorbsTransientFaults) {
+  const std::string path = ::testing::TempDir() + "xvr_fi_retry.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  // Fail the first two attempts, succeed on the third: the default policy
+  // (3 attempts) absorbs the blip.
+  Arm("file.write_atomic", /*every_nth=*/1, /*max_fires=*/2);
+  EXPECT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(FaultInjector::Instance().FireCount("file.write_atomic"), 2u);
+  FaultInjector::Instance().DisarmAll();
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "new");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultPointTest, AtomicWriteWithoutRetryFailsOnFirstFault) {
+  const std::string path = ::testing::TempDir() + "xvr_fi_noretry.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  // The same single transient fault is fatal when retry is disabled.
+  Arm("file.write_atomic", /*every_nth=*/1, /*max_fires=*/1);
+  EXPECT_FALSE(WriteFileAtomic(path, "new", RetryPolicy::None()).ok());
+  FaultInjector::Instance().DisarmAll();
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "old");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultPointTest, AppendRetryAbsorbsTransientFaults) {
+  const std::string path = ::testing::TempDir() + "xvr_fi_append.bin";
+  std::remove(path.c_str());
+  Arm("catalog_wal.append", /*every_nth=*/1, /*max_fires=*/2);
+  EXPECT_TRUE(AppendToFile(path, "abc", "catalog_wal.append").ok());
+  FaultInjector::Instance().DisarmAll();
+  // Unlimited fires exhaust the attempts and fail without touching the
+  // already-appended bytes.
+  Arm("catalog_wal.append");
+  auto failed = AppendToFile(path, "def", "catalog_wal.append");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  FaultInjector::Instance().DisarmAll();
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "abc");
+  std::remove(path.c_str());
+}
+
 TEST_F(FaultPointTest, KvLoadFaultSurfacesAsIoError) {
   KvStore kv;
   kv.Put("k", "v");

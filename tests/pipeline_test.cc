@@ -113,7 +113,8 @@ TEST_F(PipelineTest, RemoveViewInvalidatesCachedPlans) {
   ASSERT_TRUE(
       engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered).ok());
 
-  engine_.RemoveView(*extra);  // may be the selected view of the plan
+  // May be the selected view of the plan.
+  ASSERT_TRUE(engine_.RemoveView(*extra).ok());
 
   auto after = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
   ASSERT_TRUE(after.ok());
@@ -283,7 +284,9 @@ TEST(RemoveViewRegression, HundredViewsFullyReleased) {
     auto pattern = engine.Parse(shapes[static_cast<size_t>(i) % shapes.size()]);
     ASSERT_TRUE(pattern.ok());
     if (i % 3 == 0) {
-      added.push_back(engine.AddViewPattern(std::move(pattern).value()));
+      auto id = engine.AddViewPattern(std::move(pattern).value());
+      ASSERT_TRUE(id.ok()) << id.status();
+      added.push_back(*id);
     } else if (i % 3 == 1) {
       auto id = engine.AddView(std::move(pattern).value());
       ASSERT_TRUE(id.ok()) << id.status();
@@ -299,7 +302,7 @@ TEST(RemoveViewRegression, HundredViewsFullyReleased) {
   EXPECT_GT(engine.vfilter().nfa().num_accept_entries(), base_accepts);
 
   for (int32_t id : added) {
-    engine.RemoveView(id);
+    ASSERT_TRUE(engine.RemoveView(id).ok());
   }
 
   EXPECT_EQ(engine.num_views(), base_views);

@@ -1,0 +1,537 @@
+// Chaos soak harness for online catalog evolution: concurrent readers vs a
+// view mutator on one engine (snapshot isolation, run under TSan in CI), a
+// crash-recovery sweep that truncates the catalog WAL at every byte offset
+// and differential-checks the recovered engine, and graceful degradation at
+// every WAL fault point.
+//
+// The default run is a few hundred milliseconds so plain ctest stays fast;
+// set XVR_SOAK_MS (the CI soak job uses a few seconds) to stretch the
+// concurrent phase.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/mutex.h"
+#include "core/engine.h"
+#include "storage/catalog_wal.h"
+#include "xml/xml_parser.h"
+
+namespace xvr {
+namespace {
+
+int SoakMillis() {
+  const char* env = std::getenv("XVR_SOAK_MS");
+  return env != nullptr ? std::atoi(env) : 250;
+}
+
+// A document with enough repetition that answering does real join work but
+// tests stay fast.
+XmlTree SoakDoc() {
+  std::string xml = "<r>";
+  for (int i = 0; i < 30; ++i) {
+    switch (i % 3) {
+      case 0:
+        xml += "<s><p/><f/></s>";
+        break;
+      case 1:
+        xml += "<s><p/></s>";
+        break;
+      default:
+        xml += "<s><f/></s>";
+        break;
+    }
+  }
+  xml += "<t><u/></t><t><u/><u/></t></r>";
+  auto parsed = ParseXml(xml);
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+XmlTree TinyDoc() {
+  auto parsed = ParseXml("<r><s><p/><q/></s><s><p/></s><t><u/></t></r>");
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+TreePattern Parse(Engine& engine, const std::string& xpath) {
+  auto r = engine.Parse(xpath);
+  EXPECT_TRUE(r.ok()) << xpath << ": " << r.status();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot isolation under live traffic.
+
+TEST(CatalogSoak, ConcurrentReadersUnderChurn) {
+  Engine engine(SoakDoc());
+  // Core views stay for the whole run, so every probe query remains
+  // answerable no matter what the mutator is doing.
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/p")).ok());
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/f")).ok());
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s")).ok());
+
+  // Ground truth from the catalog-independent base strategy, computed
+  // before any concurrency starts.
+  const std::vector<std::string> probe_xpaths = {"/r/s[f]/p", "/r/s/p",
+                                                 "/r/s/f", "/r/s[p]/f"};
+  std::vector<TreePattern> probes;
+  std::vector<std::vector<DeweyCode>> expected;
+  for (const std::string& xpath : probe_xpaths) {
+    probes.push_back(Parse(engine, xpath));
+    auto truth =
+        engine.AnswerQuery(probes.back(), AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(truth.ok()) << xpath << ": " << truth.status();
+    expected.push_back(truth->codes);
+  }
+
+  constexpr AnswerStrategy kReaderStrategies[] = {
+      AnswerStrategy::kHeuristicFiltered, AnswerStrategy::kMinimumFiltered,
+      AnswerStrategy::kHeuristicSmallFragments};
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> mutations{0};
+  std::atomic<int> mismatches{0};
+  Mutex error_mu;
+  std::string first_error;
+  auto report = [&](const std::string& what) {
+    mismatches.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(&error_mu);
+    if (first_error.empty()) {
+      first_error = what;
+    }
+  };
+
+  constexpr int kReaders = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t i = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t probe = i % probes.size();
+        const AnswerStrategy strategy =
+            kReaderStrategies[(i / probes.size()) % 3];
+        auto answer = engine.AnswerQuery(probes[probe], strategy);
+        if (!answer.ok()) {
+          report("reader " + std::to_string(t) + " query " +
+                 probe_xpaths[probe] + ": " + answer.status().ToString());
+        } else if (answer->codes != expected[probe]) {
+          report("reader " + std::to_string(t) + " query " +
+                 probe_xpaths[probe] + ": wrong answer under churn");
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  // The mutator churns extra views — adding views can only widen the
+  // planner's options, and removing these never makes a probe unanswerable.
+  threads.emplace_back([&] {
+    const std::vector<std::string> churn_xpaths = {"/r/s[p]/f", "/r/s[f]/p",
+                                                   "/r/t/u", "/r/s[f]"};
+    uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<int32_t> added;
+      for (size_t i = 0; i < churn_xpaths.size(); ++i) {
+        TreePattern pattern = Parse(engine, churn_xpaths[i]);
+        const Result<int32_t> id = [&]() -> Result<int32_t> {
+          switch ((round + i) % 3) {
+            case 0:
+              return engine.AddView(std::move(pattern));
+            case 1:
+              return engine.AddViewCodesOnly(std::move(pattern));
+            default:
+              return engine.AddViewPattern(std::move(pattern));
+          }
+        }();
+        if (!id.ok()) {
+          report("mutator add: " + id.status().ToString());
+          continue;
+        }
+        added.push_back(*id);
+      }
+      for (const int32_t id : added) {
+        const Status removed = engine.RemoveView(id);
+        if (!removed.ok()) {
+          report("mutator remove: " + removed.ToString());
+        }
+      }
+      mutations.fetch_add(added.size() * 2, std::memory_order_relaxed);
+      ++round;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(SoakMillis()));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0) << first_error;
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(mutations.load(), 0u);
+  // The churn really moved the catalog, and it ended where it started:
+  // only the three core views remain.
+  EXPECT_GT(engine.catalog_version(), 3u);
+  EXPECT_EQ(engine.num_views(), 3u);
+}
+
+TEST(CatalogSoak, PinnedSnapshotSurvivesMutation) {
+  Engine engine(TinyDoc());
+  auto id = engine.AddView(Parse(engine, "/r/s/p"));
+  ASSERT_TRUE(id.ok());
+  const CatalogRef pinned = engine.Catalog();
+  ASSERT_TRUE(engine.RemoveView(*id).ok());
+  // The live catalog moved on...
+  EXPECT_EQ(engine.view(*id), nullptr);
+  EXPECT_GT(engine.catalog_version(), pinned->version);
+  // ...but the pinned snapshot still holds the view, pattern and fragments.
+  EXPECT_NE(pinned->view(*id), nullptr);
+  EXPECT_TRUE(pinned->fragments.HasView(*id));
+  EXPECT_EQ(pinned->view_ids(), std::vector<int32_t>{*id});
+}
+
+// ---------------------------------------------------------------------------
+// WAL format: round trip and torn tails.
+
+TEST(CatalogWal, AppendReadAllRoundTrip) {
+  const std::string path = ::testing::TempDir() + "xvr_wal_roundtrip.bin";
+  std::remove(path.c_str());
+  auto wal = CatalogWal::Open(path, /*last_seq=*/0);
+  ASSERT_TRUE(wal.ok());
+  auto s1 = (*wal)->Append(CatalogWalOp::kAddView, 0, "/r/s/p");
+  auto s2 = (*wal)->Append(CatalogWalOp::kAddViewCodesOnly, 1, "/r/s/f");
+  auto s3 = (*wal)->Append(CatalogWalOp::kRemoveView, 0, "");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_EQ(*s1, 1u);
+  EXPECT_EQ(*s3, 3u);
+  EXPECT_EQ((*wal)->last_seq(), 3u);
+
+  auto records = CatalogWal::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].seq, 1u);
+  EXPECT_EQ((*records)[0].op, CatalogWalOp::kAddView);
+  EXPECT_EQ((*records)[0].view_id, 0);
+  EXPECT_EQ((*records)[0].xpath, "/r/s/p");
+  EXPECT_EQ((*records)[1].op, CatalogWalOp::kAddViewCodesOnly);
+  EXPECT_EQ((*records)[2].op, CatalogWalOp::kRemoveView);
+  EXPECT_TRUE((*records)[2].xpath.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogWal, TornTailIsDroppedNotFatal) {
+  const std::string path = ::testing::TempDir() + "xvr_wal_torn.bin";
+  std::remove(path.c_str());
+  auto wal = CatalogWal::Open(path, 0);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(CatalogWalOp::kAddView, 0, "/r/s/p").ok());
+  ASSERT_TRUE((*wal)->Append(CatalogWalOp::kAddView, 1, "/r/s/f").ok());
+
+  // Garbage after the last record: a crash mid-append.
+  ASSERT_TRUE(AppendToFile(path, "\x07garbage").ok());
+  auto records = CatalogWal::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+
+  // Truncating into the second record loses exactly that record.
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string first =
+      EncodeCatalogWalRecord(CatalogWalRecord{1, CatalogWalOp::kAddView, 0,
+                                              "/r/s/p"});
+  ASSERT_TRUE(
+      WriteFileAtomic(path, bytes->substr(0, first.size() + 5)).ok());
+  records = CatalogWal::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].xpath, "/r/s/p");
+  std::remove(path.c_str());
+}
+
+TEST(CatalogWal, MissingFileIsAnEmptyLog) {
+  auto records =
+      CatalogWal::ReadAll(::testing::TempDir() + "xvr_wal_nonexistent.bin");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: image + WAL tail replay.
+
+class CatalogRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test file names: ctest runs each test as its own process, in
+    // parallel, so shared names would let tests clobber each other.
+    const std::string test_name = ::testing::UnitTest::GetInstance()
+                                      ->current_test_info()
+                                      ->name();
+    image_ = ::testing::TempDir() + "xvr_" + test_name + "_img.bin";
+    wal_ = ::testing::TempDir() + "xvr_" + test_name + "_wal.bin";
+    std::remove(image_.c_str());
+    std::remove(wal_.c_str());
+  }
+  void TearDown() override {
+    FaultInjector::Instance().DisarmAll();
+    std::remove(image_.c_str());
+    std::remove(wal_.c_str());
+  }
+
+  // HV answers == BN answers for `xpath` on `engine` (the differential
+  // oracle: base strategies never touch the catalog).
+  static void ExpectDifferentialMatch(Engine& engine,
+                                      const std::string& xpath) {
+    const TreePattern q = Parse(engine, xpath);
+    auto hv = engine.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(hv.ok()) << xpath << ": " << hv.status();
+    auto bn = engine.AnswerQuery(q, AnswerStrategy::kBaseNodeIndex);
+    ASSERT_TRUE(bn.ok());
+    EXPECT_EQ(hv->codes, bn->codes) << xpath;
+  }
+
+  std::string image_;
+  std::string wal_;
+};
+
+TEST_F(CatalogRecoveryTest, WalReplayRecoversUnsavedMutations) {
+  int32_t kept = -1, churned = -1, late = -1;
+  {
+    Engine engine(TinyDoc());
+    ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+    EXPECT_TRUE(engine.catalog_wal_enabled());
+    auto id0 = engine.AddView(Parse(engine, "/r/s/p"));
+    ASSERT_TRUE(id0.ok());
+    kept = *id0;
+    // SaveState checkpoints and truncates: these mutations live in the
+    // image, not the log.
+    ASSERT_TRUE(engine.SaveState(image_).ok());
+    auto tail = ReadFileToString(wal_);
+    ASSERT_TRUE(tail.ok());
+    EXPECT_TRUE(tail->empty());
+
+    // Mutations after the save exist only in the WAL.
+    auto id1 = engine.AddView(Parse(engine, "/r/s/q"));
+    ASSERT_TRUE(id1.ok());
+    churned = *id1;
+    auto id2 = engine.AddViewCodesOnly(Parse(engine, "/r/t/u"));
+    ASSERT_TRUE(id2.ok());
+    late = *id2;
+    ASSERT_TRUE(engine.RemoveView(churned).ok());
+    // Crash: the engine dies here without another SaveState.
+  }
+
+  auto recovered = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  Engine& engine = **recovered;
+  EXPECT_EQ(engine.view_ids(), (std::vector<int32_t>{kept, late}));
+  EXPECT_EQ(engine.view(churned), nullptr);
+  EXPECT_TRUE(engine.IsViewPartial(late));
+  // Replay continues the sequence: the next mutation appends after the
+  // replayed tail instead of reusing sequence numbers.
+  EXPECT_EQ(engine.catalog_wal_last_seq(), 4u);
+  auto next = engine.AddView(Parse(engine, "/r/s"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, late);
+  EXPECT_EQ(engine.catalog_wal_last_seq(), 5u);
+  ExpectDifferentialMatch(engine, "/r/s/p");
+  ExpectDifferentialMatch(engine, "/r/t/u");
+}
+
+TEST_F(CatalogRecoveryTest, TruncationSweepRecoversAPrefix) {
+  // Mutation sequence whose every prefix we can predict.
+  std::vector<std::vector<int32_t>> expected_after;  // index = #replayed
+  {
+    Engine engine(TinyDoc());
+    ASSERT_TRUE(engine.SaveState(image_).ok());
+    ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+    expected_after.push_back(engine.view_ids());  // nothing replayed
+    auto apply = [&](auto&& mutate) {
+      ASSERT_TRUE(mutate());
+      expected_after.push_back(engine.view_ids());
+    };
+    apply([&] { return engine.AddView(Parse(engine, "/r/s/p")).ok(); });
+    apply([&] { return engine.AddView(Parse(engine, "/r/s/q")).ok(); });
+    apply([&] {
+      return engine.AddViewCodesOnly(Parse(engine, "/r/t/u")).ok();
+    });
+    apply([&] { return engine.RemoveView(1).ok(); });
+    apply([&] { return engine.AddViewPattern(Parse(engine, "/r/s")).ok(); });
+    apply([&] { return engine.RemoveView(0).ok(); });
+  }
+
+  auto full = ReadFileToString(wal_);
+  ASSERT_TRUE(full.ok());
+  // Per-record end offsets, from the encoding itself.
+  auto records = CatalogWal::ReadAll(wal_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), expected_after.size() - 1);
+  std::vector<size_t> record_end;
+  size_t offset = 0;
+  for (const CatalogWalRecord& record : *records) {
+    offset += EncodeCatalogWalRecord(record).size();
+    record_end.push_back(offset);
+  }
+  ASSERT_EQ(offset, full->size());
+
+  const std::string swept_wal = wal_ + ".sweep";
+  for (size_t len = 0; len <= full->size(); ++len) {
+    // "Crash" with only the first `len` bytes of the log durable.
+    ASSERT_TRUE(WriteFileAtomic(swept_wal, full->substr(0, len)).ok());
+    auto recovered = Engine::LoadStateWithWal(image_, swept_wal);
+    ASSERT_TRUE(recovered.ok()) << "len=" << len << ": "
+                                << recovered.status();
+    // Exactly the complete records within `len` bytes replay: recovery is
+    // always a prefix of the real mutation sequence, nothing else.
+    size_t replayed = 0;
+    while (replayed < record_end.size() && record_end[replayed] <= len) {
+      ++replayed;
+    }
+    EXPECT_EQ((*recovered)->view_ids(), expected_after[replayed])
+        << "len=" << len;
+    EXPECT_TRUE((*recovered)->quarantined_view_ids().empty());
+  }
+  // The full log recovers the final state, and the recovered engine
+  // answers correctly.
+  ASSERT_TRUE(WriteFileAtomic(swept_wal, *full).ok());
+  auto recovered = Engine::LoadStateWithWal(image_, swept_wal);
+  ASSERT_TRUE(recovered.ok());
+  ExpectDifferentialMatch(**recovered, "/r/t/u");
+  std::remove(swept_wal.c_str());
+}
+
+TEST_F(CatalogRecoveryTest, SavedImageRoundTripsWithWalReplayOnTop) {
+  // image(v0) + WAL(v1) -> recover -> save -> recover again: no mutation
+  // applies twice, ids and answers are stable.
+  {
+    Engine engine(TinyDoc());
+    ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/p")).ok());
+    ASSERT_TRUE(engine.SaveState(image_).ok());
+    ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+    ASSERT_TRUE(engine.AddView(Parse(engine, "/r/t/u")).ok());
+  }
+  auto first = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ((*first)->view_ids(), (std::vector<int32_t>{0, 1}));
+  ASSERT_TRUE((*first)->SaveState(image_).ok());
+  auto second = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ((*second)->view_ids(), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ((*second)->num_views(), 2u);
+  ExpectDifferentialMatch(**second, "/r/s/p");
+}
+
+// ---------------------------------------------------------------------------
+// WAL fault points (need -DXVR_FAULTS=ON; skip elsewhere).
+
+class CatalogWalFaultTest : public CatalogRecoveryTest {
+ protected:
+  void SetUp() override {
+    CatalogRecoveryTest::SetUp();
+    if (!FaultInjectionCompiledIn()) {
+      GTEST_SKIP() << "built without XVR_FAULTS";
+    }
+  }
+  static void Arm(const char* point, uint64_t max_fires = 0) {
+    FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = max_fires;
+    FaultInjector::Instance().Arm(point, spec);
+  }
+};
+
+TEST_F(CatalogWalFaultTest, AppendFaultAbortsTheMutation) {
+  Engine engine(TinyDoc());
+  ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/p")).ok());
+  const uint64_t version = engine.catalog_version();
+
+  // Unlimited fires: every retry attempt fails, so the mutation must abort
+  // without publishing anything.
+  Arm("catalog_wal.append");
+  auto failed = engine.AddView(Parse(engine, "/r/t/u"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(engine.catalog_version(), version);
+  EXPECT_EQ(engine.num_views(), 1u);
+  Status removed = engine.RemoveView(0);
+  EXPECT_EQ(removed.code(), StatusCode::kIoError);
+  EXPECT_EQ(engine.num_views(), 1u);
+  FaultInjector::Instance().DisarmAll();
+
+  // Transient blip (fail twice, succeed on the third attempt): the append
+  // retry absorbs it and the mutation lands.
+  Arm("catalog_wal.append", /*max_fires=*/2);
+  auto ok = engine.AddView(Parse(engine, "/r/t/u"));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(engine.num_views(), 2u);
+  FaultInjector::Instance().DisarmAll();
+
+  // The log only holds published mutations: recovery sees no trace of the
+  // aborted one.
+  ASSERT_TRUE(engine.SaveState(image_).ok());
+  auto recovered = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->view_ids(), engine.view_ids());
+}
+
+TEST_F(CatalogWalFaultTest, ReplayFaultSurfacesAndRetrySucceeds) {
+  {
+    Engine engine(TinyDoc());
+    ASSERT_TRUE(engine.SaveState(image_).ok());
+    ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+    ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/p")).ok());
+  }
+  Arm("catalog_wal.replay");
+  auto failed = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  FaultInjector::Instance().DisarmAll();
+  // Nothing was consumed: the same recovery now succeeds in full.
+  auto recovered = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->view_ids(), std::vector<int32_t>{0});
+  ExpectDifferentialMatch(**recovered, "/r/s/p");
+}
+
+TEST_F(CatalogWalFaultTest, TruncateFaultLeavesRecoverableState) {
+  Engine engine(TinyDoc());
+  ASSERT_TRUE(engine.EnableCatalogWal(wal_).ok());
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/s/p")).ok());
+  ASSERT_TRUE(engine.AddView(Parse(engine, "/r/t/u")).ok());
+
+  Arm("catalog_wal.truncate");
+  Status save = engine.SaveState(image_);
+  ASSERT_FALSE(save.ok());
+  EXPECT_EQ(save.code(), StatusCode::kIoError);
+  FaultInjector::Instance().DisarmAll();
+
+  // The image is durable and checkpointed; the stale records left in the
+  // log are skipped on replay instead of applying twice.
+  auto stale = ReadFileToString(wal_);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->empty());
+  auto recovered = Engine::LoadStateWithWal(image_, wal_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->view_ids(), engine.view_ids());
+  EXPECT_EQ((*recovered)->num_views(), 2u);
+  // Fresh mutations on the recovered engine take new ids and sequences.
+  auto next = engine.catalog_wal_last_seq();
+  EXPECT_EQ((*recovered)->catalog_wal_last_seq(), next);
+  ExpectDifferentialMatch(**recovered, "/r/s/p");
+}
+
+}  // namespace
+}  // namespace xvr
