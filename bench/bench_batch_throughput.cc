@@ -9,8 +9,12 @@
 // Output (stdout, one row per configuration):
 //   threads=N       queries/sec, speedup vs. 1 thread
 //   plan cache      cold vs. warm answering latency, hit ratio
+//   metrics overhead  queries/sec with the registry enabled vs. disabled
 //   snapshot pin    cost of the per-query atomic catalog acquire
 //   catalog churn   queries/sec with a mutator thread adding/removing views
+//
+// The run ends with the engine's full metric catalog (MetricsText), so a
+// bench log doubles as a smoke test of the exposition.
 //
 // Env knobs: XVR_BENCH_VIEWS (default 1000), XVR_BENCH_SCALE (default 12),
 // XVR_BENCH_BATCH (default 512), XVR_BENCH_MAX_THREADS (default 8).
@@ -126,7 +130,7 @@ int main() {
           cold.qps, warm.qps, cold.qps > 0 ? warm.qps / cold.qps : 0.0,
           stats.HitRatio(),
           static_cast<unsigned long long>(stats.hits),
-          static_cast<unsigned long long>(stats.hits + stats.misses));
+          static_cast<unsigned long long>(stats.lookups));
     }
     // --- deadline-check overhead: generous deadline vs. none ----------------
     //
@@ -157,6 +161,38 @@ int main() {
         "(%+.2f%%)\n",
         unlimited.qps, limited.qps, overhead_pct);
     std::printf("\n");
+  }
+
+  // --- metrics overhead: registry enabled vs. disabled ----------------------
+  //
+  // With the registry enabled every query records a handful of sharded
+  // relaxed atomics (counters, the trace roll-up, the latency histogram);
+  // disabled, each record is one relaxed load and a branch. The gap is the
+  // observability budget, which the sharded cells are meant to keep under
+  // ~2%. Best-of-3 per side, alternating, like the deadline rows.
+  {
+    const AnswerStrategy strategy = AnswerStrategy::kHeuristicFiltered;
+    RunResult enabled, disabled;
+    for (int rep = 0; rep < 3; ++rep) {
+      engine.metrics().SetEnabled(true);
+      ResetCache(engine);
+      const RunResult on = RunBatch(engine, batch, strategy, 1);
+      enabled.qps = std::max(enabled.qps, on.qps);
+      engine.metrics().SetEnabled(false);
+      ResetCache(engine);
+      const RunResult off = RunBatch(engine, batch, strategy, 1);
+      disabled.qps = std::max(disabled.qps, off.qps);
+    }
+    engine.metrics().SetEnabled(true);
+    const double overhead_pct =
+        disabled.qps > 0
+            ? (disabled.qps - enabled.qps) / disabled.qps * 100.0
+            : 0.0;
+    std::printf(
+        "metrics overhead (%s, threads=1): disabled %8.0f q/s, enabled "
+        "%8.0f q/s (%+.2f%%)\n\n",
+        AnswerStrategyName(strategy), disabled.qps, enabled.qps,
+        overhead_pct);
   }
 
   // --- snapshot pin: the per-query catalog acquire --------------------------
@@ -240,5 +276,8 @@ int main() {
         static_cast<unsigned long long>(mutations.load()),
         static_cast<unsigned long long>(published));
   }
+
+  // --- the full metric catalog after the whole run --------------------------
+  std::printf("\nmetrics:\n%s", engine.MetricsText().c_str());
   return 0;
 }

@@ -12,7 +12,8 @@
 //   filter <xpath>        show VFILTER candidates and LIST(P_i)
 //   explain <xpath>       show selection (views, covers, anchors)
 //   save <file> / open <file>   persist / restore the engine state
-//   stats                 engine statistics
+//   stats                 engine statistics (incl. serving health)
+//   \metrics [json]       full metric catalog as text or JSON
 //   help / quit
 //
 // Run:  ./xvr_shell            (or pipe a script into stdin)
@@ -68,10 +69,11 @@ class Shell {
 
   void PrintAnswer(const xvr::Engine::Answer& answer, bool verify) {
     std::printf("%zu result(s) in %.1f us (filter %.1f, select %.1f, "
-                "exec %.1f); %zu view(s)\n",
+                "exec %.1f); %zu view(s)%s\n",
                 answer.codes.size(), answer.stats.total_micros,
                 answer.stats.filter_micros, answer.stats.selection_micros,
-                answer.stats.execution_micros, answer.stats.views_selected);
+                answer.stats.execution_micros, answer.stats.views_selected,
+                answer.stats.plan_cache_hit ? " [plan cached]" : "");
     size_t shown = 0;
     for (const xvr::DeweyCode& code : answer.codes) {
       if (++shown > 5) {
@@ -106,7 +108,7 @@ class Shell {
           "gen [scale] | load <file> | view <xpath> | views | drop <id>\n"
           "q <xpath> | q! <BN|BF|MN|MV|HV|HB> <xpath> | best <xpath>\n"
           "filter <xpath> | explain <xpath> | save <file> | open <file>\n"
-          "stats | quit\n");
+          "stats | \\metrics [json] | quit\n");
       return true;
     }
     if (cmd == "gen") {
@@ -191,6 +193,44 @@ class Shell {
                   engine_->vfilter().num_transitions(),
                   xvr::HumanBytes(SerializedVFilterSize(engine_->vfilter()))
                       .c_str());
+      const xvr::ServerStats server = engine_->ServerStats();
+      std::printf(
+          "queries: %llu total, %llu ok, %llu failed "
+          "(%llu deadline, %llu cancelled, %llu budget), "
+          "%llu degraded\n",
+          static_cast<unsigned long long>(server.queries_total),
+          static_cast<unsigned long long>(server.queries_ok),
+          static_cast<unsigned long long>(server.queries_failed),
+          static_cast<unsigned long long>(server.queries_deadline_exceeded),
+          static_cast<unsigned long long>(server.queries_cancelled),
+          static_cast<unsigned long long>(server.queries_budget_exhausted),
+          static_cast<unsigned long long>(server.queries_degraded_selection +
+                               server.queries_degraded_unfiltered));
+      std::printf(
+          "plan cache: %llu lookups, %llu hits (%.0f%%), %llu stale drops, "
+          "%llu evictions\n",
+          static_cast<unsigned long long>(server.plan_cache.lookups),
+          static_cast<unsigned long long>(server.plan_cache.hits),
+          100.0 * server.plan_cache.HitRatio(),
+          static_cast<unsigned long long>(server.plan_cache.stale_drops),
+          static_cast<unsigned long long>(server.plan_cache.evictions));
+      std::printf(
+          "latency: p50 %.1f us, p95 %.1f, p99 %.1f, max %.1f (n=%llu); "
+          "catalog v%llu, %llu publishes, %llu WAL appends\n",
+          server.query_latency.p50_micros, server.query_latency.p95_micros,
+          server.query_latency.p99_micros, server.query_latency.max_micros,
+          static_cast<unsigned long long>(server.query_latency.count),
+          static_cast<unsigned long long>(server.catalog_version),
+          static_cast<unsigned long long>(server.catalog_publishes),
+          static_cast<unsigned long long>(server.wal_appends));
+      return true;
+    }
+    if (cmd == "\\metrics" || cmd == "metrics") {
+      if (rest == "json") {
+        std::printf("%s\n", engine_->MetricsJson().c_str());
+      } else {
+        std::printf("%s", engine_->MetricsText().c_str());
+      }
       return true;
     }
 

@@ -38,6 +38,13 @@ Rules (each suppressible per line with a `lint:<rule>-ok` comment):
                 catalog versions in one answer. The pipeline's pin sites
                 (exactly one per query) carry lint:catalog-pin-ok.
 
+  span          No WallTimer in src/core, src/exec or src/rewrite. Serving-
+                path stages time themselves with trace spans (obs/trace.h:
+                ScopedSpan / XVR_SPAN), which land the same measurement in
+                the per-query trace and the stage histograms; a bare
+                WallTimer measures but records nowhere. Suppress with
+                lint:span-ok (e.g. for setup code that never serves).
+
   deadline      In src/core and src/exec, a function on the limit-carrying
                 serving path (one that mentions QueryLimits or
                 ExecutionContext) must not contain a for/while loop without
@@ -73,6 +80,9 @@ CATALOG_PIN_ALLOWLIST = {
 }
 CATALOG_PIN_RE = re.compile(
     r"(?<!\w)Catalog\s*\(\s*\)|deps_\.catalog\s*\(|catalog_\.load\s*\(")
+
+SPAN_DIRS = ("src/core/", "src/exec/", "src/rewrite/")
+SPAN_RE = re.compile(r"\bWallTimer\b")
 
 DEADLINE_DIRS = ("src/core/", "src/exec/")
 DEADLINE_CARRIER_RE = re.compile(r"\b(QueryLimits|ExecutionContext)\b")
@@ -210,6 +220,13 @@ def lint_file(rel, raw, code, unordered_names, findings):
                 findings.append((rel, lineno, "discard",
                                  "(void)-discarded call; handle the result "
                                  "or XVR_RETURN_IF_ERROR it"))
+        if rel.startswith(SPAN_DIRS) and SPAN_RE.search(line):
+            if not suppressed(lineno, "span"):
+                findings.append((rel, lineno, "span",
+                                 "WallTimer on the serving path; time stages "
+                                 "with ScopedSpan/XVR_SPAN (obs/trace.h) so "
+                                 "the measurement lands in the trace and "
+                                 "stage histograms (or lint:span-ok)"))
         if (rel.startswith(CATALOG_PIN_DIRS)
                 and rel not in CATALOG_PIN_ALLOWLIST
                 and CATALOG_PIN_RE.search(line)):

@@ -503,4 +503,18 @@ Status ValidateCatalogWalRecords(
   return Status::Ok();
 }
 
+Status ValidatePlanCacheStats(const PlanCache::Stats& stats) {
+  if (stats.hits + stats.misses != stats.lookups) {
+    return Violation("plan cache stats: hits (" + std::to_string(stats.hits) +
+                     ") + misses (" + std::to_string(stats.misses) +
+                     ") != lookups (" + std::to_string(stats.lookups) + ")");
+  }
+  if (stats.stale_drops > stats.misses) {
+    return Violation("plan cache stats: stale_drops (" +
+                     std::to_string(stats.stale_drops) + ") > misses (" +
+                     std::to_string(stats.misses) + ")");
+  }
+  return Status::Ok();
+}
+
 }  // namespace xvr

@@ -20,6 +20,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "core/catalog.h"
+#include "core/planner.h"
 #include "pattern/path_pattern.h"
 #include "storage/catalog_wal.h"
 #include "pattern/tree_pattern.h"
@@ -86,6 +87,12 @@ Status ValidateCatalogSnapshot(const CatalogSnapshot& catalog);
 // Catalog WAL invariants: sequence numbers strictly increasing, add
 // records carry a pattern, remove records carry none, ops are known.
 Status ValidateCatalogWalRecords(const std::vector<CatalogWalRecord>& records);
+
+// Plan cache accounting invariants: every lookup resolves to exactly one
+// hit or one miss (hits + misses == lookups) and a stale drop is one
+// flavor of miss (stale_drops <= misses). Run by the pipeline after every
+// cache interaction in XVR_VALIDATE builds; keeps HitRatio() honest.
+Status ValidatePlanCacheStats(const PlanCache::Stats& stats);
 
 }  // namespace xvr
 

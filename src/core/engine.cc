@@ -39,11 +39,18 @@ Engine::Engine(XmlTree doc, EngineOptions options)
     catalog_ = std::make_shared<const CatalogSnapshot>(options_.vfilter);
   }
 
+  metrics_registry_.SetEnabled(options_.metrics_enabled);
+  metrics_ = std::make_unique<EngineMetrics>(&metrics_registry_);
+
   planner_ = std::make_unique<Planner>(
       PlannerOptions{options_.minimize_patterns});
 
   if (options_.plan_cache_capacity > 0) {
     plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
+    plan_cache_->BindMetrics(
+        metrics_->plan_cache_lookups, metrics_->plan_cache_hits,
+        metrics_->plan_cache_misses, metrics_->plan_cache_stale_drops,
+        metrics_->plan_cache_evictions);
   }
 
   QueryPipeline::Deps deps;
@@ -52,6 +59,7 @@ Engine::Engine(XmlTree doc, EngineOptions options)
   deps.base = &base_;
   deps.doc = &doc_;
   deps.catalog = [this] { return Catalog(); };
+  deps.metrics = metrics_.get();
   pipeline_ = std::make_unique<QueryPipeline>(std::move(deps));
 }
 
@@ -69,11 +77,18 @@ CatalogSnapshot Engine::CloneCatalog() const {
 void Engine::PublishCatalog(CatalogSnapshot next) {
   next.version = Catalog()->version + 1;
   XVR_DEBUG_VALIDATE(ValidateCatalogSnapshot(next));
+  const uint64_t version = next.version;
+  const size_t views = next.views.size();
   // Build the successor off-lock; only the pointer install sits inside the
   // readers' critical section.
   auto published = std::make_shared<const CatalogSnapshot>(std::move(next));
-  MutexLock lock(&published_mu_);
-  catalog_ = std::move(published);
+  {
+    MutexLock lock(&published_mu_);
+    catalog_ = std::move(published);
+  }
+  metrics_->catalog_publishes->Add();
+  metrics_->catalog_version->Set(static_cast<int64_t>(version));
+  metrics_->catalog_views->Set(static_cast<int64_t>(views));
 }
 
 Result<int32_t> Engine::AddViewLocked(TreePattern view, CatalogWalOp op,
@@ -99,6 +114,7 @@ Result<int32_t> Engine::AddViewLocked(TreePattern view, CatalogWalOp op,
     const Result<uint64_t> seq =
         wal_->Append(op, id, PatternToXPath(view, doc_.labels()));
     XVR_RETURN_IF_ERROR(seq.status());
+    metrics_->wal_appends->Add();
   }
   if (materialize) {
     next.fragments.PutView(id, std::move(fragments));
@@ -127,6 +143,7 @@ Status Engine::RemoveViewLocked(int32_t id, bool log_to_wal) {
     const Result<uint64_t> seq =
         wal_->Append(CatalogWalOp::kRemoveView, id, /*xpath=*/"");
     XVR_RETURN_IF_ERROR(seq.status());
+    metrics_->wal_appends->Add();
   }
   next.views.erase(id);
   next.vfilter.RemoveView(id);
@@ -436,6 +453,34 @@ Result<std::unique_ptr<Engine>> Engine::LoadStateWithWal(
   XVR_ASSIGN_OR_RETURN(engine, LoadState(path, std::move(options)));
   XVR_RETURN_IF_ERROR(engine->EnableCatalogWal(wal_path));
   return engine;
+}
+
+ServerStats Engine::ServerStats() const {
+  xvr::ServerStats out;
+  out.queries_total = metrics_->queries_total->Value();
+  out.queries_ok = metrics_->queries_ok->Value();
+  out.queries_failed = metrics_->queries_failed->Value();
+  out.queries_deadline_exceeded =
+      metrics_->queries_deadline_exceeded->Value();
+  out.queries_cancelled = metrics_->queries_cancelled->Value();
+  out.queries_budget_exhausted = metrics_->queries_budget_exhausted->Value();
+  out.queries_degraded_selection =
+      metrics_->queries_degraded_selection->Value();
+  out.queries_degraded_unfiltered =
+      metrics_->queries_degraded_unfiltered->Value();
+  // From the cache itself, not the mirrored counters: correct even while
+  // the registry is disabled.
+  if (plan_cache_ != nullptr) {
+    out.plan_cache = plan_cache_->stats();
+  }
+  out.catalog_publishes = metrics_->catalog_publishes->Value();
+  out.wal_appends = metrics_->wal_appends->Value();
+  out.batch_queries = metrics_->batch_queries->Value();
+  const CatalogRef catalog = Catalog();
+  out.catalog_version = catalog->version;
+  out.catalog_views = catalog->views.size();
+  out.query_latency = metrics_->query_latency->TakeSnapshot();
+  return out;
 }
 
 Engine::BestEffortAnswer Engine::AnswerBestEffort(

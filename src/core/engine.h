@@ -53,6 +53,8 @@
 #include "core/pipeline.h"
 #include "core/planner.h"
 #include "exec/evaluator.h"
+#include "obs/engine_metrics.h"
+#include "obs/metrics.h"
 #include "pattern/tree_pattern.h"
 #include "rewrite/contained.h"
 #include "rewrite/rewriter.h"
@@ -74,6 +76,33 @@ struct EngineOptions {
   bool minimize_patterns = true;
   // Number of plans the LRU PlanCache retains; 0 disables plan caching.
   size_t plan_cache_capacity = 1024;
+  // Record engine-wide metrics (counters, gauges, latency histograms).
+  // When false the registry still exists — Engine::metrics() stays valid
+  // and can be re-enabled at runtime — but every hot-path record collapses
+  // to one relaxed atomic load.
+  bool metrics_enabled = true;
+};
+
+// A point-in-time view of the engine's serving health, assembled from the
+// metrics registry and the plan cache. Counter-derived fields are zero when
+// the registry was disabled while the traffic ran; the plan-cache block
+// comes from PlanCache's own stats and is always populated.
+struct ServerStats {
+  uint64_t queries_total = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t queries_deadline_exceeded = 0;
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_budget_exhausted = 0;
+  uint64_t queries_degraded_selection = 0;
+  uint64_t queries_degraded_unfiltered = 0;
+  PlanCache::Stats plan_cache;
+  uint64_t catalog_publishes = 0;
+  uint64_t wal_appends = 0;
+  uint64_t batch_queries = 0;
+  uint64_t catalog_version = 0;
+  size_t catalog_views = 0;
+  LatencyHistogram::Snapshot query_latency;
 };
 
 class Engine {
@@ -258,6 +287,24 @@ class Engine {
   // rebuilt the filter from the view catalog instead.
   bool vfilter_rebuilt() const { return vfilter_rebuilt_; }
 
+  // --- observability ---------------------------------------------------------
+  //
+  // The engine owns one MetricsRegistry; the whole serving path records
+  // into it (see obs/engine_metrics.h for the metric catalog). Recording is
+  // lock-free and sharded; with options.metrics_enabled = false (or
+  // metrics().SetEnabled(false) at runtime) every record collapses to one
+  // relaxed load.
+
+  MetricsRegistry& metrics() const { return metrics_registry_; }
+
+  // Point-in-time serving health: query/failure/degradation counts, plan
+  // cache stats, catalog churn and the whole-call latency distribution.
+  xvr::ServerStats ServerStats() const;
+
+  // Full metric catalog, one instrument per line / as one JSON object.
+  std::string MetricsText() const { return metrics_registry_.TextExposition(); }
+  std::string MetricsJson() const { return metrics_registry_.JsonExposition(); }
+
   // --- component access (benches, tests) ------------------------------------
   //
   // Convenience references into the *current* snapshot: stable only until
@@ -297,6 +344,12 @@ class Engine {
   EngineOptions options_;
   BaseEvaluator base_;
   bool vfilter_rebuilt_ = false;
+
+  // Observability (before the read path: the pipeline and the plan cache
+  // hold pointers into it). mutable: recording from the const read path is
+  // internally synchronized (lock-free sharded cells).
+  mutable MetricsRegistry metrics_registry_;
+  std::unique_ptr<EngineMetrics> metrics_;
 
   // The published catalog, behind its own tiny mutex: both sides only ever
   // copy/assign a shared_ptr inside the critical section, so readers wait

@@ -8,7 +8,7 @@
 #include "analysis/validate.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
-#include "common/timer.h"
+#include "obs/trace.h"
 #include "rewrite/rewriter.h"
 #include "xml/fst.h"
 
@@ -32,6 +32,7 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   XVR_RETURN_IF_ERROR(CheckInterrupted(ctx->limits, "pipeline.plan"));
   XVR_FAULT_POINT("pipeline.plan",
                   return Status::Internal("injected: pipeline.plan"));
+  ScopedSpan plan_span(&ctx->trace, "plan");
   if (ctx->catalog == nullptr) {
     ctx->catalog = deps_.catalog();  // lint:catalog-pin-ok (direct Plan call)
   }
@@ -40,8 +41,10 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   std::string key;
   if (deps_.cache != nullptr) {
     key = PlanCacheKey(query, strategy);
-    if (std::shared_ptr<const QueryPlan> cached =
-            deps_.cache->Lookup(key, version)) {
+    std::shared_ptr<const QueryPlan> cached =
+        deps_.cache->Lookup(key, version);
+    XVR_DEBUG_VALIDATE(ValidatePlanCacheStats(deps_.cache->stats()));
+    if (cached != nullptr) {
       if (cache_hit != nullptr) {
         *cache_hit = true;
       }
@@ -51,7 +54,8 @@ Result<std::shared_ptr<const QueryPlan>> QueryPipeline::Plan(
   QueryPlan plan;
   XVR_ASSIGN_OR_RETURN(
       plan, deps_.planner->BuildPlan(catalog, query, strategy,
-                                     &ctx->nfa_scratch, ctx->limits));
+                                     &ctx->nfa_scratch, ctx->limits,
+                                     &ctx->trace));
   // The plan's (possibly minimized) pattern is what selection indexed and
   // what execution will embed — it must still be a well-formed pattern.
   XVR_DEBUG_VALIDATE(ValidateTreePattern(plan.query));
@@ -76,12 +80,18 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
     ctx->catalog = deps_.catalog();  // lint:catalog-pin-ok (direct Execute)
   }
   QueryAnswer answer;
+  // Carry the plan's candidate counts and degradation flags, but report
+  // zero planning time: this call executes a plan it did not build. The
+  // planning cost stays inspectable in plan_filter/plan_selection_micros;
+  // Answer() restores filter/selection_micros when it planned in the same
+  // call (cache miss).
   answer.stats = plan.plan_stats;
-  WallTimer timer;
+  answer.stats.filter_micros = 0;
+  answer.stats.selection_micros = 0;
+  ScopedSpan exec_span(&ctx->trace, "execute");
   if (!plan.uses_views) {
     const std::vector<NodeId> nodes =
         deps_.base->Evaluate(plan.query, plan.base_strategy);
-    answer.stats.execution_micros = timer.ElapsedMicros();
     if (ctx->limits.max_result_codes > 0 &&
         nodes.size() > ctx->limits.max_result_codes) {
       return Status::ResourceExhausted(
@@ -94,19 +104,19 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
       answer.codes.push_back(deps_.doc->dewey(n));
     }
     std::sort(answer.codes.begin(), answer.codes.end());
-    answer.stats.total_micros = timer.ElapsedMicros();
+    answer.stats.execution_micros = exec_span.StopMicros();
+    answer.stats.total_micros = answer.stats.execution_micros;
     return answer;
   }
   RewriteOptions rewrite_options;
   rewrite_options.limits = ctx->limits;
+  rewrite_options.trace = &ctx->trace;
   Result<std::vector<DeweyCode>> codes =
       AnswerWithViews(plan.query, plan.selection, ctx->catalog->fragments,
                       *deps_.doc->fst(), &answer.stats.rewrite,
                       rewrite_options);
-  answer.stats.execution_micros = timer.ElapsedMicros();
-  answer.stats.total_micros =
-      answer.stats.execution_micros + answer.stats.filter_micros +
-      answer.stats.selection_micros;
+  answer.stats.execution_micros = exec_span.StopMicros();
+  answer.stats.total_micros = answer.stats.execution_micros;
   if (!codes.ok()) {
     return codes.status();
   }
@@ -114,10 +124,10 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
   return answer;
 }
 
-Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
-                                          AnswerStrategy strategy,
-                                          ExecutionContext* ctx) const {
-  WallTimer total;
+Result<QueryAnswer> QueryPipeline::AnswerTraced(const TreePattern& query,
+                                                AnswerStrategy strategy,
+                                                ExecutionContext* ctx) const {
+  ScopedSpan query_span(&ctx->trace, "query");
   // The pin: exactly one snapshot per query. Planning and execution both
   // read it, so a concurrent catalog mutation can neither tear this query
   // nor free a view it joins over.
@@ -128,9 +138,53 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
   Result<QueryAnswer> answer = Execute(*plan, ctx);
   if (answer.ok()) {
     answer->stats.plan_cache_hit = cache_hit;
-    answer->stats.total_micros = total.ElapsedMicros();
+    if (!cache_hit) {
+      // This call built the plan, so the planning time is this call's work.
+      answer->stats.filter_micros = plan->plan_stats.filter_micros;
+      answer->stats.selection_micros = plan->plan_stats.selection_micros;
+    }
+    // Wall time of this call only: lookup + execution on a hit, planning +
+    // execution on a miss. Summing total_micros across repeated calls now
+    // matches elapsed wall time instead of double-counting planning.
+    answer->stats.total_micros = query_span.StopMicros();
     // Every strategy promises codes in strictly increasing document order.
     XVR_DEBUG_VALIDATE(ValidateAnswerCodes(answer->codes));
+  }
+  return answer;
+}
+
+Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
+                                          AnswerStrategy strategy,
+                                          ExecutionContext* ctx) const {
+  ctx->trace.Clear();
+  Result<QueryAnswer> answer = AnswerTraced(query, strategy, ctx);
+  if (const EngineMetrics* m = deps_.metrics) {
+    m->queries_total->Add();
+    if (answer.ok()) {
+      m->queries_ok->Add();
+      if (answer->stats.degraded_selection) {
+        m->queries_degraded_selection->Add();
+      }
+      if (answer->stats.degraded_unfiltered) {
+        m->queries_degraded_unfiltered->Add();
+      }
+    } else {
+      m->queries_failed->Add();
+      switch (answer.status().code()) {
+        case StatusCode::kDeadlineExceeded:
+          m->queries_deadline_exceeded->Add();
+          break;
+        case StatusCode::kCancelled:
+          m->queries_cancelled->Add();
+          break;
+        case StatusCode::kResourceExhausted:
+          m->queries_budget_exhausted->Add();
+          break;
+        default:
+          break;
+      }
+    }
+    m->RollUpTrace(ctx->trace);
   }
   return answer;
 }
@@ -148,6 +202,16 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
   if (queries.empty()) {
     return results;
   }
+  // Queue-wait accounting: every query "arrives" when the batch is
+  // submitted, so its wait is pickup time minus batch start. Priced only
+  // when the registry records anything (one bool, hoisted off the loop).
+  const EngineMetrics* metrics = deps_.metrics;
+  const bool record_wait =
+      metrics != nullptr && metrics->registry->enabled();
+  if (metrics != nullptr) {
+    metrics->batch_queries->Add(queries.size());
+  }
+  const int64_t batch_start_nanos = record_wait ? MonotonicNanos() : 0;
 
   // Build any lazily-constructed shared state up front so workers only ever
   // read it.
@@ -169,6 +233,10 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
     ExecutionContext ctx;
     ctx.limits = limits;
     for (size_t i = 0; i < queries.size(); ++i) {
+      if (record_wait) {
+        metrics->batch_queue_wait->RecordNanos(MonotonicNanos() -
+                                               batch_start_nanos);
+      }
       results[i] = Answer(queries[i], strategy, &ctx);
     }
     return results;
@@ -181,6 +249,10 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < queries.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (record_wait) {
+        metrics->batch_queue_wait->RecordNanos(MonotonicNanos() -
+                                               batch_start_nanos);
+      }
       results[i] = Answer(queries[i], strategy, &ctx);
     }
   };

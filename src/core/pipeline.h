@@ -26,6 +26,8 @@
 #include "common/status.h"
 #include "core/catalog.h"
 #include "core/planner.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace.h"
 #include "vfilter/nfa.h"
 #include "xml/dewey.h"
 #include "xml/xml_tree.h"
@@ -47,6 +49,11 @@ struct ExecutionContext {
   // and keeps whatever is already pinned (so a caller can deliberately
   // plan and execute against one snapshot across several calls).
   CatalogRef catalog;
+  // Per-stage spans of the current call. Answer() clears it on entry and
+  // rolls it up into the engine metrics on exit; it survives until the next
+  // Answer() on this context, so callers can inspect the last query's
+  // stage breakdown.
+  Trace trace;
 };
 
 // What AnswerQuery returns: the extended Dewey codes of the query result
@@ -69,6 +76,9 @@ class QueryPipeline {
     const BaseEvaluator* base = nullptr;
     const XmlTree* doc = nullptr;
     std::function<CatalogRef()> catalog;
+    // Engine-wide metrics; nullptr disables pipeline-level recording
+    // entirely (the plan cache binds its own counters separately).
+    const EngineMetrics* metrics = nullptr;
   };
 
   explicit QueryPipeline(Deps deps);
@@ -103,6 +113,11 @@ class QueryPipeline {
       int num_threads, const QueryLimits& limits = QueryLimits()) const;
 
  private:
+  // Answer() minus the metrics accounting: the traced plan + execute body.
+  Result<QueryAnswer> AnswerTraced(const TreePattern& query,
+                                   AnswerStrategy strategy,
+                                   ExecutionContext* ctx) const;
+
   Deps deps_;
 };
 

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
-#include "common/timer.h"
+#include "obs/trace.h"
 #include "pattern/minimize.h"
 #include "selection/heuristic_selector.h"
 #include "selection/minimum_selector.h"
@@ -80,7 +80,8 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
                                         AnswerStrategy strategy,
                                         AnswerStats* stats,
                                         NfaReadScratch* scratch,
-                                        const QueryLimits& limits) const {
+                                        const QueryLimits& limits,
+                                        Trace* trace) const {
   // Per-call resolvers over the pinned snapshot. They capture `catalog` by
   // reference and never outlive this call; the caller keeps the snapshot
   // pinned for the whole query.
@@ -88,14 +89,13 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
   const PartialLookup is_partial = [&catalog](int32_t id) {
     return catalog.IsViewPartial(id);
   };
-  WallTimer timer;
   switch (strategy) {
     case AnswerStrategy::kMinimumNoFilter: {
       const std::vector<int32_t> ids = catalog.view_ids();
-      Result<SelectionResult> selection =
-          SelectMinimum(query, ids, lookup, is_partial,
-                        ExhaustiveLimits(limits));
-      stats->selection_micros = timer.ElapsedMicros();
+      ScopedSpan selection_span(trace, "plan.selection");
+      Result<SelectionResult> selection = SelectMinimum(
+          query, ids, lookup, is_partial, ExhaustiveLimits(limits));
+      stats->selection_micros = selection_span.StopMicros();
       stats->candidates_after_filter = ids.size();
       if (!selection.ok() &&
           ShouldDegradeExhaustive(selection.status(), limits)) {
@@ -104,18 +104,18 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
         // catalog view is indexed and filtering only removes views that
         // could not cover the query anyway.
         stats->degraded_selection = true;
-        timer.Restart();
+        ScopedSpan filter_span(trace, "plan.filter");
         FilterResult filtered;
         XVR_ASSIGN_OR_RETURN(
             filtered, catalog.vfilter.Filter(query, scratch, limits));
-        stats->filter_micros = timer.ElapsedMicros();
+        stats->filter_micros = filter_span.StopMicros();
         stats->candidates_after_filter = filtered.candidates.size();
-        timer.Restart();
+        ScopedSpan retry_span(trace, "plan.selection");
         HeuristicOptions options;
         options.is_partial = is_partial;
         options.limits = limits;
         selection = SelectHeuristic(query, filtered, lookup, options);
-        stats->selection_micros += timer.ElapsedMicros();
+        stats->selection_micros += retry_span.StopMicros();
       }
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
@@ -124,6 +124,7 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
       return selection;
     }
     case AnswerStrategy::kMinimumFiltered: {
+      ScopedSpan filter_span(trace, "plan.filter");
       bool filter_poisoned = false;
       XVR_FAULT_POINT("planner.filter", filter_poisoned = true);
       FilterResult filtered;
@@ -135,9 +136,9 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
         XVR_ASSIGN_OR_RETURN(
             filtered, catalog.vfilter.Filter(query, scratch, limits));
       }
-      stats->filter_micros = timer.ElapsedMicros();
+      stats->filter_micros = filter_span.StopMicros();
       stats->candidates_after_filter = filtered.candidates.size();
-      timer.Restart();
+      ScopedSpan selection_span(trace, "plan.selection");
       Result<SelectionResult> selection =
           SelectMinimum(query, filtered.candidates, lookup,
                         is_partial, ExhaustiveLimits(limits));
@@ -149,7 +150,7 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
         options.limits = limits;
         selection = SelectHeuristic(query, filtered, lookup, options);
       }
-      stats->selection_micros = timer.ElapsedMicros();
+      stats->selection_micros = selection_span.StopMicros();
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
         stats->views_selected = selection->views.size();
@@ -158,6 +159,7 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
     }
     case AnswerStrategy::kHeuristicFiltered:
     case AnswerStrategy::kHeuristicSmallFragments: {
+      ScopedSpan filter_span(trace, "plan.filter");
       bool filter_poisoned = false;
       XVR_FAULT_POINT("planner.filter", filter_poisoned = true);
       FilterResult filtered;
@@ -168,9 +170,9 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
         XVR_ASSIGN_OR_RETURN(
             filtered, catalog.vfilter.Filter(query, scratch, limits));
       }
-      stats->filter_micros = timer.ElapsedMicros();
+      stats->filter_micros = filter_span.StopMicros();
       stats->candidates_after_filter = filtered.candidates.size();
-      timer.Restart();
+      ScopedSpan selection_span(trace, "plan.selection");
       HeuristicOptions options;
       options.is_partial = is_partial;
       options.limits = limits;
@@ -182,7 +184,7 @@ Result<SelectionResult> Planner::Select(const CatalogSnapshot& catalog,
       }
       Result<SelectionResult> selection =
           SelectHeuristic(query, filtered, lookup, options);
-      stats->selection_micros = timer.ElapsedMicros();
+      stats->selection_micros = selection_span.StopMicros();
       if (selection.ok()) {
         stats->covers_computed = selection->covers_computed;
         stats->views_selected = selection->views.size();
@@ -202,7 +204,8 @@ Result<QueryPlan> Planner::BuildPlan(const CatalogSnapshot& catalog,
                                      const TreePattern& query,
                                      AnswerStrategy strategy,
                                      NfaReadScratch* scratch,
-                                     const QueryLimits& limits) const {
+                                     const QueryLimits& limits,
+                                     Trace* trace) const {
   QueryPlan plan;
   plan.query = query;
   plan.strategy = strategy;
@@ -223,9 +226,13 @@ Result<QueryPlan> Planner::BuildPlan(const CatalogSnapshot& catalog,
   XVR_ASSIGN_OR_RETURN(
       plan.selection,
       Select(catalog, plan.query, strategy, &plan.plan_stats, scratch,
-             limits));
+             limits, trace));
   plan.degraded = plan.plan_stats.degraded_selection ||
                   plan.plan_stats.degraded_unfiltered;
+  // Planning cost is inspectable on every later call that reuses this plan
+  // — the per-call filter/selection_micros go to zero on a cache hit.
+  plan.plan_stats.plan_filter_micros = plan.plan_stats.filter_micros;
+  plan.plan_stats.plan_selection_micros = plan.plan_stats.selection_micros;
   return plan;
 }
 
@@ -241,22 +248,39 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
 std::shared_ptr<const QueryPlan> PlanCache::Lookup(
     const std::string& key, uint64_t catalog_version) {
   MutexLock lock(&mu_);
+  // Exactly one lookup, resolving below to exactly one hit or one miss —
+  // the construction behind the hits + misses == lookups invariant.
+  ++stats_.lookups;
+  if (metrics_.lookups != nullptr) {
+    metrics_.lookups->Add();
+  }
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (metrics_.misses != nullptr) {
+      metrics_.misses->Add();
+    }
     return nullptr;
   }
   if (it->second->second->catalog_version != catalog_version) {
     // The catalog changed since this plan was built: the candidate set or
-    // the selected views may no longer be valid. Drop the entry.
+    // the selected views may no longer be valid. Drop the entry. A stale
+    // drop is one flavor of miss, never an extra one.
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.stale_drops;
     ++stats_.misses;
+    if (metrics_.stale_drops != nullptr) {
+      metrics_.stale_drops->Add();
+      metrics_.misses->Add();
+    }
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  if (metrics_.hits != nullptr) {
+    metrics_.hits->Add();
+  }
   return it->second->second;
 }
 
@@ -278,6 +302,9 @@ void PlanCache::Insert(const std::string& key,
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    if (metrics_.evictions != nullptr) {
+      metrics_.evictions->Add();
+    }
   }
 }
 
@@ -300,6 +327,12 @@ PlanCache::Stats PlanCache::stats() const {
 void PlanCache::ResetStats() {
   MutexLock lock(&mu_);
   stats_ = Stats{};
+}
+
+void PlanCache::BindMetrics(Counter* lookups, Counter* hits, Counter* misses,
+                            Counter* stale_drops, Counter* evictions) {
+  MutexLock lock(&mu_);
+  metrics_ = MetricSinks{lookups, hits, misses, stale_drops, evictions};
 }
 
 }  // namespace xvr

@@ -34,6 +34,8 @@
 #include "common/thread_annotations.h"
 #include "core/catalog.h"
 #include "exec/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/tree_pattern.h"
 #include "rewrite/rewriter.h"
 #include "selection/answerability.h"
@@ -68,17 +70,26 @@ inline bool IsBaseStrategy(AnswerStrategy strategy) {
          strategy == AnswerStrategy::kBaseTjfast;
 }
 
+// Per-call timing contract: filter/selection/execution/total_micros report
+// work done by *this* call only, so summing total_micros across calls
+// matches wall time even when plans are reused. On a plan-cache hit the
+// call did no planning — filter_micros and selection_micros are zero — and
+// the original planning cost stays inspectable in plan_filter_micros /
+// plan_selection_micros (which a cache miss fills with the same values as
+// filter/selection_micros).
 struct AnswerStats {
   double filter_micros = 0;     // VFILTER time (zero for BN/BF/MN)
   double selection_micros = 0;  // leaf covers + set cover / greedy walk
   double execution_micros = 0;  // fragment refinement/join or base scan
   double total_micros = 0;
+  // What building this call's plan cost when it was built — possibly by an
+  // earlier call, when the plan came out of the PlanCache.
+  double plan_filter_micros = 0;
+  double plan_selection_micros = 0;
   size_t candidates_after_filter = 0;
   size_t views_selected = 0;
   int covers_computed = 0;
-  // True when the plan (filter + selection) came out of the PlanCache; the
-  // filter/selection timings then report the original planning cost, not
-  // time spent on this call.
+  // True when the plan (filter + selection) came out of the PlanCache.
   bool plan_cache_hit = false;
   // Degradations that fired while planning. `degraded_selection`: exhaustive
   // minimum-set selection overran its deadline slice (or blew the DP's
@@ -139,11 +150,15 @@ class Planner {
   // slice expires (or the set-cover DP's universe overflows), the planner
   // *degrades* to the greedy heuristic over the same candidates and records
   // it in stats->degraded_selection rather than failing the query.
+  //
+  // `trace`, when non-null, receives "plan.filter" / "plan.selection" spans
+  // mirroring the timings written into `stats`.
   Result<SelectionResult> Select(const CatalogSnapshot& catalog,
                                  const TreePattern& query,
                                  AnswerStrategy strategy, AnswerStats* stats,
                                  NfaReadScratch* scratch,
-                                 const QueryLimits& limits = QueryLimits()) const;
+                                 const QueryLimits& limits = QueryLimits(),
+                                 Trace* trace = nullptr) const;
 
   // Builds a complete plan against `catalog`: minimizes (when configured),
   // classifies the strategy and, for view strategies, selects the view set.
@@ -152,7 +167,8 @@ class Planner {
                               const TreePattern& query,
                               AnswerStrategy strategy,
                               NfaReadScratch* scratch,
-                              const QueryLimits& limits = QueryLimits()) const;
+                              const QueryLimits& limits = QueryLimits(),
+                              Trace* trace = nullptr) const;
 
  private:
   PlannerOptions options_;
@@ -183,21 +199,40 @@ class PlanCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  // Every Lookup() is exactly one lookup and resolves to exactly one hit or
+  // one miss (a stale drop is one flavor of miss), so
+  //   hits + misses == lookups  and  stale_drops <= misses
+  // hold by construction — asserted by ValidatePlanCacheStats and the churn
+  // tests. HitRatio() is hits over lookups.
   struct Stats {
+    uint64_t lookups = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;    // capacity evictions
     uint64_t stale_drops = 0;  // catalog-version invalidations
     double HitRatio() const {
-      const uint64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+      return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
     }
   };
   Stats stats() const;
   void ResetStats();
 
+  // Mirrors every stats_ increment into engine-wide counters (all five must
+  // be non-null). ResetStats() clears only stats_, never the counters, so
+  // the registry keeps lifetime totals across bench-style resets.
+  void BindMetrics(Counter* lookups, Counter* hits, Counter* misses,
+                   Counter* stale_drops, Counter* evictions);
+
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const QueryPlan>>;
+
+  struct MetricSinks {
+    Counter* lookups = nullptr;
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* stale_drops = nullptr;
+    Counter* evictions = nullptr;
+  };
 
   mutable Mutex mu_;
   const size_t capacity_;  // set at construction, never changes
@@ -205,6 +240,7 @@ class PlanCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_
       XVR_GUARDED_BY(mu_);
   Stats stats_ XVR_GUARDED_BY(mu_);
+  MetricSinks metrics_ XVR_GUARDED_BY(mu_);
 };
 
 }  // namespace xvr

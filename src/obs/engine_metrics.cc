@@ -1,0 +1,87 @@
+#include "obs/engine_metrics.h"
+
+#include <cstring>
+#include <string>
+
+namespace xvr {
+
+namespace {
+
+// The span names the serving path emits, in rough hot-path order. The
+// whole-call "query" span feeds xvr.query.latency instead of a stage
+// histogram, so it is absent here.
+constexpr const char* kStageNames[] = {
+    "plan",         "plan.filter",  "plan.selection", "execute",
+    "execute.refine", "execute.join", "execute.extract",
+};
+
+}  // namespace
+
+EngineMetrics::EngineMetrics(MetricsRegistry* registry) : registry(registry) {
+  queries_total = registry->GetCounter("xvr.queries.total");
+  queries_ok = registry->GetCounter("xvr.queries.ok");
+  queries_failed = registry->GetCounter("xvr.queries.failed");
+  queries_deadline_exceeded =
+      registry->GetCounter("xvr.queries.deadline_exceeded");
+  queries_cancelled = registry->GetCounter("xvr.queries.cancelled");
+  queries_budget_exhausted =
+      registry->GetCounter("xvr.queries.budget_exhausted");
+  queries_degraded_selection =
+      registry->GetCounter("xvr.queries.degraded_selection");
+  queries_degraded_unfiltered =
+      registry->GetCounter("xvr.queries.degraded_unfiltered");
+
+  plan_cache_lookups = registry->GetCounter("xvr.plan_cache.lookups");
+  plan_cache_hits = registry->GetCounter("xvr.plan_cache.hits");
+  plan_cache_misses = registry->GetCounter("xvr.plan_cache.misses");
+  plan_cache_stale_drops = registry->GetCounter("xvr.plan_cache.stale_drops");
+  plan_cache_evictions = registry->GetCounter("xvr.plan_cache.evictions");
+
+  catalog_publishes = registry->GetCounter("xvr.catalog.publishes");
+  wal_appends = registry->GetCounter("xvr.wal.appends");
+  batch_queries = registry->GetCounter("xvr.batch.queries");
+
+  catalog_views = registry->GetGauge("xvr.catalog.views");
+  catalog_version = registry->GetGauge("xvr.catalog.version");
+
+  query_latency = registry->GetHistogram("xvr.query.latency");
+  batch_queue_wait = registry->GetHistogram("xvr.batch.queue_wait");
+
+  static_assert(kStages == sizeof(kStageNames) / sizeof(kStageNames[0]));
+  for (size_t i = 0; i < kStages; ++i) {
+    stages_[i].span_name = kStageNames[i];
+    stages_[i].histogram = registry->GetHistogram(
+        std::string("xvr.stage.") + kStageNames[i]);
+  }
+}
+
+LatencyHistogram* EngineMetrics::StageHistogram(const char* name) const {
+  for (const Stage& stage : stages_) {
+    // Span names are literals, but compare by content so callers outside
+    // the pipeline (tests) are not pointer-identity dependent.
+    if (stage.span_name == name ||
+        std::strcmp(stage.span_name, name) == 0) {
+      return stage.histogram;
+    }
+  }
+  return nullptr;
+}
+
+void EngineMetrics::RollUpTrace(const Trace& trace) const {
+  if (!registry->enabled()) {
+    return;
+  }
+  const size_t n = trace.size();
+  for (size_t i = 0; i < n; ++i) {
+    const SpanRecord& span = trace.record(i);
+    if (std::strcmp(span.name, "query") == 0) {
+      query_latency->RecordNanos(span.duration_nanos);
+      continue;
+    }
+    if (LatencyHistogram* histogram = StageHistogram(span.name)) {
+      histogram->RecordNanos(span.duration_nanos);
+    }
+  }
+}
+
+}  // namespace xvr

@@ -1,0 +1,83 @@
+#ifndef XVR_OBS_ENGINE_METRICS_H_
+#define XVR_OBS_ENGINE_METRICS_H_
+
+// The engine's typed handle on its MetricsRegistry: every metric the
+// serving path records, resolved by name once at construction so hot-path
+// code touches plain pointers and never the registry mutex.
+//
+// Metric catalog (names as exposed):
+//   xvr.queries.total / ok / failed        one per Answer() call
+//   xvr.queries.deadline_exceeded          failures by cause
+//   xvr.queries.cancelled
+//   xvr.queries.budget_exhausted
+//   xvr.queries.degraded_selection         exhaustive -> greedy fallback
+//   xvr.queries.degraded_unfiltered        VFILTER skipped (fault path)
+//   xvr.plan_cache.lookups/hits/misses/stale_drops/evictions
+//   xvr.catalog.publishes                  snapshot publications
+//   xvr.wal.appends                        catalog WAL records written
+//   xvr.batch.queries                      queries submitted via BatchAnswer
+//   xvr.catalog.views / version            gauges
+//   xvr.query.latency                      whole-call latency histogram
+//   xvr.batch.queue_wait                   submit -> pickup wait per query
+//   xvr.stage.<span>                       per-stage histograms, one per
+//                                          trace span name (plan.filter,
+//                                          plan.selection, execute.refine,
+//                                          execute.join, execute.extract,
+//                                          plan, execute)
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xvr {
+
+struct EngineMetrics {
+  explicit EngineMetrics(MetricsRegistry* registry);
+
+  // Per-stage histogram for a span name, or null for names outside the
+  // pre-registered stage table. The table is immutable after construction,
+  // so lookups are lock-free.
+  LatencyHistogram* StageHistogram(const char* name) const;
+
+  // Feeds every retained span of a completed query into its stage
+  // histogram. No-op while the registry is disabled.
+  void RollUpTrace(const Trace& trace) const;
+
+  MetricsRegistry* registry;
+
+  Counter* queries_total;
+  Counter* queries_ok;
+  Counter* queries_failed;
+  Counter* queries_deadline_exceeded;
+  Counter* queries_cancelled;
+  Counter* queries_budget_exhausted;
+  Counter* queries_degraded_selection;
+  Counter* queries_degraded_unfiltered;
+
+  Counter* plan_cache_lookups;
+  Counter* plan_cache_hits;
+  Counter* plan_cache_misses;
+  Counter* plan_cache_stale_drops;
+  Counter* plan_cache_evictions;
+
+  Counter* catalog_publishes;
+  Counter* wal_appends;
+  Counter* batch_queries;
+
+  Gauge* catalog_views;
+  Gauge* catalog_version;
+
+  LatencyHistogram* query_latency;
+  LatencyHistogram* batch_queue_wait;
+
+ private:
+  struct Stage {
+    const char* span_name;
+    LatencyHistogram* histogram;
+  };
+  static constexpr size_t kStages = 7;
+  Stage stages_[kStages];
+};
+
+}  // namespace xvr
+
+#endif  // XVR_OBS_ENGINE_METRICS_H_

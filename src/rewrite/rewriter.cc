@@ -162,7 +162,10 @@ Status AnswerCore(
   const Skeleton skeleton = BuildSkeleton(query, selection.views);
 
   // Phase 1: per view, refine fragments and enumerate skeleton signatures.
+  // (The phase spans also record on early returns — their destructors run —
+  // so a budget blow-up still shows up in the stage histograms.)
   std::vector<ViewJoinData> join_data(selection.views.size());
+  ScopedSpan refine_span(options.trace, "execute.refine");
   for (size_t vi = 0; vi < selection.views.size(); ++vi) {
     const SelectedView& sel = selection.views[vi];
     const std::vector<Fragment>* fragments = store.GetView(sel.view_id);
@@ -238,9 +241,14 @@ Status AnswerCore(
       return Status::Ok();  // some view has no usable fragment -> empty
     }
   }
+  refine_span.Stop();
 
   // Phase 2: join. For each refined primary fragment, check that every other
-  // view can contribute a consistent fragment.
+  // view can contribute a consistent fragment. Survivors are pointers into
+  // join_data, which stays untouched until extraction.
+  const ViewJoinData& primary_data = join_data[static_cast<size_t>(primary)];
+  std::vector<const CandidateFragment*> survivors;
+  ScopedSpan join_span(options.trace, "execute.join");
   std::vector<const ViewJoinData*> others;
   for (size_t vi = 0; vi < join_data.size(); ++vi) {
     if (vi != static_cast<size_t>(primary)) {
@@ -253,12 +261,7 @@ Status AnswerCore(
               return a->fragments.size() < b->fragments.size();
             });
 
-  const ViewJoinData& primary_data = join_data[static_cast<size_t>(primary)];
-  const TreePattern extraction = ExtractionPattern(
-      query, selection.views[static_cast<size_t>(primary)].cover.mapped_answer);
-
   GlobalBinding binding;
-  size_t emitted = 0;
   for (const CandidateFragment& cf : primary_data.fragments) {
     // One primary fragment is one Satisfiable() search; check per fragment.
     XVR_RETURN_IF_ERROR(CheckInterrupted(limits, "rewrite.join"));
@@ -272,20 +275,29 @@ Status AnswerCore(
         break;
       }
     }
-    if (!supported) {
-      continue;
+    if (supported) {
+      ++st->join_survivors;
+      survivors.push_back(&cf);
     }
-    ++st->join_survivors;
-    // Phase 3: extraction.
-    for (int32_t node : cf.fragment->EvaluateAnchored(extraction)) {
+  }
+  join_span.Stop();
+
+  // Phase 3: extraction over the surviving primary fragments.
+  ScopedSpan extract_span(options.trace, "execute.extract");
+  const TreePattern extraction = ExtractionPattern(
+      query, selection.views[static_cast<size_t>(primary)].cover.mapped_answer);
+  size_t emitted = 0;
+  for (const CandidateFragment* cf : survivors) {
+    XVR_RETURN_IF_ERROR(ticker.Tick("rewrite.extract"));
+    for (int32_t node : cf->fragment->EvaluateAnchored(extraction)) {
       if (limits.max_result_codes > 0 && emitted >= limits.max_result_codes) {
         return Status::ResourceExhausted(
             "answer exceeds the result budget of " +
             std::to_string(limits.max_result_codes) + " codes (" +
-            std::to_string(st->join_survivors) + " join survivors so far)");
+            std::to_string(st->join_survivors) + " join survivors)");
       }
       ++emitted;
-      emit(cf.fragment->AbsoluteCode(node), *cf.fragment, node);
+      emit(cf->fragment->AbsoluteCode(node), *cf->fragment, node);
     }
   }
   return Status::Ok();

@@ -22,6 +22,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "pattern/tree_pattern.h"
 #include "selection/answerability.h"
 #include "storage/fragment_store.h"
@@ -47,6 +48,9 @@ struct RewriteOptions {
   // return RESOURCE_EXHAUSTED with the work done so far accounted in
   // RewriteStats.
   QueryLimits limits;
+  // When non-null, receives one span per pipeline phase: "execute.refine",
+  // "execute.join", "execute.extract".
+  Trace* trace = nullptr;
 };
 
 // Answers `query` from materialized fragments only. `fst` must be the

@@ -11,6 +11,7 @@
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "core/planner.h"
+#include "obs/trace.h"
 #include "pattern/xpath_parser.h"
 #include "workload/workloads.h"
 #include "workload/xmark.h"
@@ -157,6 +158,105 @@ TEST_F(PipelineTest, LruEvictsLeastRecentlyUsedPlan) {
   EXPECT_EQ(cache.Lookup("c", 1), nullptr);
   EXPECT_EQ(cache.stats().stale_drops, 1u);
   EXPECT_EQ(cache.size(), 1u);
+}
+
+// Regression: a plan-cache hit must not replay the cached plan's planning
+// cost into this call's stats. Before the fix, filter/selection_micros were
+// copied from the cached plan on every hit, so summing AnswerStats across
+// repeated calls double-counted the planning work of the one miss.
+TEST_F(PipelineTest, PlanCacheHitDoesNotReplayPlanningCost) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+
+  auto first = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_FALSE(first->stats.plan_cache_hit);
+  // The miss planned, so planning time is this call's work — and the plan
+  // remembers the same cost under its own fields.
+  EXPECT_GT(first->stats.filter_micros + first->stats.selection_micros, 0.0);
+  EXPECT_EQ(first->stats.plan_filter_micros, first->stats.filter_micros);
+  EXPECT_EQ(first->stats.plan_selection_micros,
+            first->stats.selection_micros);
+
+  auto second = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(second->stats.plan_cache_hit);
+  // The hit did no planning and reports none — exactly zero, not the cached
+  // plan's cost.
+  EXPECT_EQ(second->stats.filter_micros, 0.0);
+  EXPECT_EQ(second->stats.selection_micros, 0.0);
+  // The plan's build cost stays inspectable, under its own fields.
+  EXPECT_EQ(second->stats.plan_filter_micros,
+            first->stats.plan_filter_micros);
+  EXPECT_EQ(second->stats.plan_selection_micros,
+            first->stats.plan_selection_micros);
+  // total covers exactly this call: lookup + execution, nothing replayed.
+  EXPECT_GE(second->stats.total_micros, second->stats.execution_micros);
+}
+
+// Regression companion: per-call stats can only account for work that
+// actually happened, so their sum over a run fits inside the measured wall
+// time. Pre-fix, each hit re-reported the plan's filter/selection cost and
+// the sum overshot the clock.
+TEST_F(PipelineTest, SummedStatsStayWithinWallTime) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+
+  const int64_t start_nanos = MonotonicNanos();
+  double component_sum = 0;
+  double total_sum = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(a.ok()) << a.status();
+    component_sum += a->stats.filter_micros + a->stats.selection_micros +
+                     a->stats.execution_micros;
+    total_sum += a->stats.total_micros;
+  }
+  const double wall_micros =
+      static_cast<double>(MonotonicNanos() - start_nanos) / 1e3;
+  // Small slack for per-span clock-read rounding.
+  EXPECT_LE(component_sum, wall_micros + 100.0);
+  EXPECT_LE(total_sum, wall_micros + 100.0);
+}
+
+// Satellite invariant: every Lookup resolves to exactly one hit or one
+// miss, stale drops are a flavor of miss, and the lookups counter equals
+// the number of cache-consulting calls — under catalog churn, exactly.
+TEST_F(PipelineTest, PlanCacheStatsConsistentUnderChurn) {
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/p")).ok());
+  ASSERT_TRUE(engine_.AddView(Parse("/r/s/f")).ok());
+  const TreePattern q = Parse("/r/s[f]/p");
+  ASSERT_NE(engine_.plan_cache(), nullptr);
+
+  uint64_t answered = 0;
+  auto answer = [&] {
+    auto a = engine_.AnswerQuery(q, AnswerStrategy::kHeuristicFiltered);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ++answered;
+  };
+  answer();  // prime the cache: one plain miss
+  for (int round = 0; round < 5; ++round) {
+    // Churn the catalog; the cached plan goes stale.
+    auto id = engine_.AddView(Parse("/r/s[f]/p"));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(engine_.RemoveView(*id).ok());
+    answer();  // stale drop + miss
+    answer();  // hit
+    answer();  // hit
+  }
+
+  const PlanCache::Stats stats = engine_.plan_cache()->stats();
+  EXPECT_EQ(stats.lookups, answered);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.stale_drops, 5u);
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_DOUBLE_EQ(stats.HitRatio(),
+                   static_cast<double>(stats.hits) /
+                       static_cast<double>(stats.lookups));
+  EXPECT_TRUE(ValidatePlanCacheStats(stats).ok());
 }
 
 // --- BatchAnswer ------------------------------------------------------------
