@@ -55,6 +55,18 @@ Rules (each suppressible per line with a `lint:<rule>-ok` comment):
                 comment anywhere in the function suppresses it (use for
                 loops that only fan work out to already-checked callees).
 
+  hot-alloc     In src/exec and src/rewrite .cc files, no declaration of an
+                associative container (std::unordered_map/set, std::map/set)
+                or an owning std::vector inside a for/while body. A container
+                constructed per loop iteration on the serving path is a
+                malloc per fragment/node — the hot-path memory architecture
+                routes those through the per-query arena / reused scratch
+                (common/arena.h, RewriteScratch, AssignmentSet) instead.
+                References/pointers to containers are fine. Cold paths
+                (setup, the retained legacy oracle) suppress with
+                lint:hot-alloc-ok on the declaration or the line above;
+                whole cold files go in HOT_ALLOC_ALLOWLIST.
+
 Usage: scripts/lint.py [root]   (root defaults to the repo checkout)
 Exit status 0 when clean, 1 with one "file:line: [rule] message" per finding.
 """
@@ -91,6 +103,16 @@ LOOP_RE = re.compile(r"^\s*(?:for|while)\s*\(")
 SEGMENT_KEYWORDS = ("if", "for", "while", "switch", "return", "case", "#",
                     "}", "namespace", "class", "struct", "using", "typedef",
                     "static_assert", "//")
+
+HOT_ALLOC_DIRS = ("src/exec/", "src/rewrite/")
+# Cold-path files exempt wholesale (none today; prefer line suppressions so
+# new hot code in a mixed file still gets checked).
+HOT_ALLOC_ALLOWLIST = set()
+# An owning declaration: optional const, the container type, then a name —
+# no & / * between type and name (references and pointers don't allocate).
+HOT_ALLOC_DECL_RE = re.compile(
+    r"^\s+(?:const\s+)?std::(?:unordered_map|unordered_set|map|set|multimap|"
+    r"multiset|vector)\s*<[^;&]*>\s+\w+\s*[;={(]")
 
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>[&\s]+(\w+)\s*[;={(]")
@@ -195,6 +217,64 @@ def lint_deadline(rel, raw_lines, code_lines, findings):
                          "(common/deadline.h) or lint:deadline-ok"))
 
 
+def lint_hot_alloc(rel, raw_lines, code_lines, findings):
+    """Container constructed per loop iteration in src/exec or src/rewrite:
+    a malloc on the serving hot path. Tracks brace depth to know when we are
+    inside a for/while body."""
+    if not rel.startswith(HOT_ALLOC_DIRS) or not rel.endswith(".cc"):
+        return
+    if rel in HOT_ALLOC_ALLOWLIST:
+        return
+    depth = 0
+    loop_bodies = []  # brace depths at which a loop body opened
+    # Loop-header state machine: HEADER while inside the for/while parens,
+    # BODY once they balance. A `{` in BODY state opens a tracked loop body;
+    # any other token there means a brace-less single-statement body, which
+    # opens no scope.
+    NONE, HEADER, BODY = 0, 1, 2
+    state = NONE
+    paren = 0
+    for lineno, line in enumerate(code_lines, 1):
+        if state == NONE and LOOP_RE.match(line):
+            state = HEADER
+            paren = 0
+        if loop_bodies and state == NONE and HOT_ALLOC_DECL_RE.match(line):
+            here = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            above = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if "lint:hot-alloc-ok" not in here and \
+                    "lint:hot-alloc-ok" not in above:
+                findings.append((rel, lineno, "hot-alloc",
+                                 "container constructed inside a hot loop; "
+                                 "use the per-query arena / reused scratch "
+                                 "(common/arena.h, RewriteScratch, "
+                                 "AssignmentSet) or lint:hot-alloc-ok for "
+                                 "cold paths"))
+        for ch in line:
+            if state == HEADER:
+                if ch == "(":
+                    paren += 1
+                elif ch == ")":
+                    paren -= 1
+                    if paren == 0:
+                        state = BODY
+                continue
+            if state == BODY:
+                if ch in " \t":
+                    continue
+                state = NONE
+                if ch == "{":
+                    depth += 1
+                    loop_bodies.append(depth)
+                    continue
+                # Brace-less body: single statement, falls through as code.
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                if loop_bodies and loop_bodies[-1] == depth:
+                    loop_bodies.pop()
+                depth -= 1
+
+
 def lint_file(rel, raw, code, unordered_names, findings):
     raw_lines = raw.splitlines()
     code_lines = code.splitlines()
@@ -271,6 +351,7 @@ def main():
     for rel, raw, code in files:
         lint_file(rel, raw, code, unordered_names, findings)
         lint_deadline(rel, raw.splitlines(), code.splitlines(), findings)
+        lint_hot_alloc(rel, raw.splitlines(), code.splitlines(), findings)
 
     for rel, lineno, rule, message in findings:
         print(f"{rel}:{lineno}: [{rule}] {message}")

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,7 @@ Status ValidateFragmentTree(int32_t view_id, size_t seq, const Fragment& f,
       return Violation(where + ": node " + std::to_string(j) +
                        " has out-of-range parent");
     }
-    for (const int32_t c : node.children) {
+    for (const int32_t c : f.children(j)) {
       if (c <= 0 || c >= n) {
         return Violation(where + ": node " + std::to_string(j) +
                          " has out-of-range child " + std::to_string(c));
@@ -74,11 +75,22 @@ Status ValidateFragmentTree(int32_t view_id, size_t seq, const Fragment& f,
       }
     }
     if (j > 0) {
-      const std::vector<int32_t>& siblings = f.node(node.parent).children;
+      const std::span<const int32_t> siblings = f.children(node.parent);
       if (std::find(siblings.begin(), siblings.end(), j) == siblings.end()) {
         return Violation(where + ": node " + std::to_string(j) +
                          " missing from its parent's child list");
       }
+    }
+    // Flat-layout invariants: preorder storage with contiguous subtrees.
+    if (node.subtree_end <= static_cast<uint32_t>(j) ||
+        node.subtree_end > static_cast<uint32_t>(n)) {
+      return Violation(where + ": node " + std::to_string(j) +
+                       " has out-of-range subtree end");
+    }
+    if (j > 0 && (node.parent >= j ||
+                  node.subtree_end > f.node(node.parent).subtree_end)) {
+      return Violation(where + ": node " + std::to_string(j) +
+                       " breaks preorder subtree nesting");
     }
     // Every node code must be FST-decodable and decode to the node's label
     // (the rewriter verifies encodings exactly this way, Example 5.1).

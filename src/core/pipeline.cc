@@ -111,6 +111,9 @@ Result<QueryAnswer> QueryPipeline::Execute(const QueryPlan& plan,
   RewriteOptions rewrite_options;
   rewrite_options.limits = ctx->limits;
   rewrite_options.trace = &ctx->trace;
+  rewrite_options.scratch = ctx->memory_mode == MemoryMode::kArena
+                                ? &ctx->rewrite_scratch
+                                : nullptr;
   Result<std::vector<DeweyCode>> codes =
       AnswerWithViews(plan.query, plan.selection, ctx->catalog->fragments,
                       *deps_.doc->fst(), &answer.stats.rewrite,
@@ -157,6 +160,9 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
                                           AnswerStrategy strategy,
                                           ExecutionContext* ctx) const {
   ctx->trace.Clear();
+  // The NFA read side follows the context's memory regime, so an A/B run
+  // compares dense against sparse dispatch along with arena against heap.
+  ctx->nfa_scratch.use_dense = ctx->memory_mode == MemoryMode::kArena;
   Result<QueryAnswer> answer = AnswerTraced(query, strategy, ctx);
   if (const EngineMetrics* m = deps_.metrics) {
     m->queries_total->Add();
@@ -185,13 +191,23 @@ Result<QueryAnswer> QueryPipeline::Answer(const TreePattern& query,
       }
     }
     m->RollUpTrace(ctx->trace);
+    // Arena footprint of this query (last-writer-wins across contexts; the
+    // high-water gauge only ratchets up).
+    const int64_t used =
+        static_cast<int64_t>(ctx->rewrite_scratch.arena.bytes_allocated());
+    const int64_t high =
+        static_cast<int64_t>(ctx->rewrite_scratch.arena.high_water());
+    m->arena_bytes_allocated->Set(used);
+    if (high > m->arena_high_water->Value()) {
+      m->arena_high_water->Set(high);
+    }
   }
   return answer;
 }
 
 std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
     std::span<const TreePattern> queries, AnswerStrategy strategy,
-    int num_threads, const QueryLimits& limits) const {
+    int num_threads, const QueryLimits& limits, MemoryMode mode) const {
   // The fan-out loops here only dispatch; every per-query deadline check
   // runs inside Answer() (lint:deadline-ok).
   std::vector<Result<QueryAnswer>> results;
@@ -232,6 +248,7 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
   if (workers <= 1) {
     ExecutionContext ctx;
     ctx.limits = limits;
+    ctx.memory_mode = mode;
     for (size_t i = 0; i < queries.size(); ++i) {
       if (record_wait) {
         metrics->batch_queue_wait->RecordNanos(MonotonicNanos() -
@@ -246,6 +263,7 @@ std::vector<Result<QueryAnswer>> QueryPipeline::BatchAnswer(
   auto worker = [&] {
     ExecutionContext ctx;  // per-thread scratch
     ctx.limits = limits;
+    ctx.memory_mode = mode;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < queries.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {

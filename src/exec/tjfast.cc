@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -96,9 +97,13 @@ std::vector<NodeId> TjFastEvaluator::Evaluate(
   }
   XVR_CHECK(primary >= 0) << "answer node not on any root-to-leaf path";
 
-  // Build per-path streams.
+  // Build per-path streams. The label and assignment buffers are hoisted
+  // out of the per-node loops and reused (flat AssignmentSet rows instead
+  // of a vector-of-vectors per node).
   std::vector<PathStream> streams(d.paths.size());
   const Fst* fst = tree_.fst();
+  std::vector<LabelId> labels;
+  AssignmentSet assignments;
   for (size_t i = 0; i < d.paths.size(); ++i) {
     PathStream& stream = streams[i];
     for (size_t pos = 0; pos < path_nodes[i].size(); ++pos) {
@@ -123,7 +128,6 @@ std::vector<NodeId> TjFastEvaluator::Evaluate(
     const bool wildcard_leaf = pattern.label(leaf) == kWildcardLabel;
     const size_t total =
         wildcard_leaf ? tree_.size() : nodes.size();
-    std::vector<LabelId> labels;
     for (size_t k = 0; k < total; ++k) {
       const NodeId node =
           wildcard_leaf ? static_cast<NodeId>(k) : nodes[k];
@@ -131,13 +135,15 @@ std::vector<NodeId> TjFastEvaluator::Evaluate(
       if (!fst->Decode(code.components(), &labels)) {
         continue;
       }
-      const std::vector<PathAssignment> assignments =
-          MatchPathOnLabels(path, labels, 256);
+      MatchPathOnLabels(path, labels, 256, &assignments);
       if (assignments.empty()) {
         continue;
       }
-      std::unordered_set<std::string> seen;
-      for (const PathAssignment& a : assignments) {
+      // Per-node dedup: compare against the matches this node just added
+      // (bounded by the assignment cap) instead of keying a hash set.
+      const size_t node_first_match = stream.matches.size();
+      for (size_t ai = 0; ai < assignments.size(); ++ai) {
+        const std::span<const int> a = assignments[ai];
         // Value predicates on path nodes: resolved against the concrete
         // ancestors (attributes are not part of the encoding).
         bool preds_ok = true;
@@ -163,9 +169,13 @@ std::vector<NodeId> TjFastEvaluator::Evaluate(
           match.prefixes.push_back(
               code.Prefix(static_cast<size_t>(a[stream.sig_pos[s]]) + 1));
         }
-        const std::string key = KeyOf(match);
-        if (seen.insert(key).second) {
-          stream.keys.insert(key);
+        bool duplicate = false;
+        for (size_t m = node_first_match;
+             m < stream.matches.size() && !duplicate; ++m) {
+          duplicate = stream.matches[m].prefixes == match.prefixes;
+        }
+        if (!duplicate) {
+          stream.keys.insert(KeyOf(match));
           stream.matches.push_back(std::move(match));
         }
       }
@@ -212,6 +222,7 @@ std::vector<NodeId> TjFastEvaluator::Evaluate(
     }
     for (const LeafMatch& match : stream.matches) {
       bool consistent = true;
+      // lint:hot-alloc-ok (base-evaluator oracle; HV serving uses the arena)
       std::vector<TreePattern::NodeIndex> bound;
       for (size_t s = 0; s < stream.sig_nodes.size() && consistent; ++s) {
         auto it = binding.find(stream.sig_nodes[s]);

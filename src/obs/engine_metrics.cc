@@ -41,8 +41,15 @@ EngineMetrics::EngineMetrics(MetricsRegistry* registry) : registry(registry) {
   wal_appends = registry->GetCounter("xvr.wal.appends");
   batch_queries = registry->GetCounter("xvr.batch.queries");
 
+  fragment_flat_loads = registry->GetCounter("xvr.fragment.flat_loads");
+  fragment_legacy_loads = registry->GetCounter("xvr.fragment.legacy_loads");
+
   catalog_views = registry->GetGauge("xvr.catalog.views");
   catalog_version = registry->GetGauge("xvr.catalog.version");
+  arena_bytes_allocated = registry->GetGauge("xvr.arena.bytes_allocated");
+  arena_high_water = registry->GetGauge("xvr.arena.high_water");
+  fragment_flat_ratio_pct =
+      registry->GetGauge("xvr.fragment.flat_ratio_pct");
 
   query_latency = registry->GetHistogram("xvr.query.latency");
   batch_queue_wait = registry->GetHistogram("xvr.batch.queue_wait");

@@ -17,6 +17,11 @@
 //   xvr.wal.appends                        catalog WAL records written
 //   xvr.batch.queries                      queries submitted via BatchAnswer
 //   xvr.catalog.views / version            gauges
+//   xvr.arena.bytes_allocated              last query's arena footprint
+//   xvr.arena.high_water                   largest arena footprint seen
+//   xvr.fragment.flat_loads                fragments loaded in flat (v2) form
+//   xvr.fragment.legacy_loads              fragments canonicalized from v1
+//   xvr.fragment.flat_ratio_pct            flat share of the last load, 0-100
 //   xvr.query.latency                      whole-call latency histogram
 //   xvr.batch.queue_wait                   submit -> pickup wait per query
 //   xvr.stage.<span>                       per-stage histograms, one per
@@ -63,8 +68,14 @@ struct EngineMetrics {
   Counter* wal_appends;
   Counter* batch_queries;
 
+  Counter* fragment_flat_loads;
+  Counter* fragment_legacy_loads;
+
   Gauge* catalog_views;
   Gauge* catalog_version;
+  Gauge* arena_bytes_allocated;
+  Gauge* arena_high_water;
+  Gauge* fragment_flat_ratio_pct;
 
   LatencyHistogram* query_latency;
   LatencyHistogram* batch_queue_wait;

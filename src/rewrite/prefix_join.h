@@ -12,6 +12,7 @@
 // is the image of the pattern's end). The root anchor follows the pattern:
 // a kChild first step must sit at position 0.
 
+#include <span>
 #include <vector>
 
 #include "pattern/path_pattern.h"
@@ -23,11 +24,48 @@ namespace xvr {
 // path; strictly increasing; positions.back() == path.size() - 1.
 using PathAssignment = std::vector<int>;
 
+// All assignments of one (pattern, labels) match, flattened into a single
+// buffer of fixed-width rows (width = number of pattern steps). The serving
+// path reuses one AssignmentSet across fragments, so enumerating
+// assignments allocates nothing once the buffer has grown to the workload's
+// high-water mark.
+class AssignmentSet {
+ public:
+  void Reset(size_t width) {
+    width_ = width;
+    positions_.clear();
+  }
+  size_t width() const { return width_; }
+  bool empty() const { return positions_.empty(); }
+  size_t size() const { return width_ == 0 ? 0 : positions_.size() / width_; }
+  std::span<const int> operator[](size_t i) const {
+    return {positions_.data() + i * width_, width_};
+  }
+  void Append(const PathAssignment& a) {
+    positions_.insert(positions_.end(), a.begin(), a.end());
+  }
+  // Recursion working buffer of the enumerator (kept here so repeated
+  // matches reuse its capacity too).
+  PathAssignment* mutable_scratch() { return &scratch_; }
+
+ private:
+  std::vector<int> positions_;
+  PathAssignment scratch_;
+  size_t width_ = 0;
+};
+
 // All assignments of `pattern` onto `labels`, capped at `max_assignments`
 // (0 = unlimited). Empty result means the label path does not match.
 std::vector<PathAssignment> MatchPathOnLabels(const PathPattern& pattern,
                                               const std::vector<LabelId>& labels,
                                               size_t max_assignments = 256);
+
+// Allocation-reusing form: fills `out` (Reset to the pattern's step count)
+// instead of materializing a vector of vectors. Same enumeration order and
+// cap semantics as the vector form.
+void MatchPathOnLabels(const PathPattern& pattern,
+                       const std::vector<LabelId>& labels,
+                       size_t max_assignments, AssignmentSet* out);
 
 // Quick boolean form.
 [[nodiscard]] bool PathMatchesLabels(const PathPattern& pattern,

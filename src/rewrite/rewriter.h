@@ -20,10 +20,12 @@
 
 #include <vector>
 
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "pattern/tree_pattern.h"
+#include "rewrite/prefix_join.h"
 #include "selection/answerability.h"
 #include "storage/fragment_store.h"
 #include "xml/dewey.h"
@@ -35,6 +37,28 @@ struct RewriteStats {
   size_t fragments_scanned = 0;
   size_t fragments_after_refinement = 0;
   size_t join_survivors = 0;
+};
+
+// Per-query memory for the rewrite pipeline (the hot-path memory
+// architecture's execution slice). Owned by the ExecutionContext, one per
+// thread; Answer() calls Reset() on entry. The arena carries the per-query
+// transients (join tables, signature stores, recursion scratch); the named
+// buffers are reusable pre-sized scratch for the per-fragment inner loops
+// — after warm-up a steady query stream allocates nothing here.
+struct RewriteScratch {
+  Arena arena;
+  // FST label-decode buffer (one fragment root code at a time).
+  std::vector<LabelId> labels;
+  // Flat path-assignment buffer for MatchPathOnLabels.
+  AssignmentSet assignments;
+  // Epoched embedding memo + frontier buffers for the anchored walks.
+  FragmentScratch fragment;
+  // Extraction output buffer (fragment node indices).
+  std::vector<int32_t> extract_nodes;
+
+  // Rewinds the arena (retaining its chunks). The named buffers size
+  // themselves in use and keep their capacity.
+  void Reset() { arena.Reset(); }
 };
 
 struct RewriteOptions {
@@ -51,6 +75,14 @@ struct RewriteOptions {
   // When non-null, receives one span per pipeline phase: "execute.refine",
   // "execute.join", "execute.extract".
   Trace* trace = nullptr;
+  // When non-null, the rewrite runs its arena/scratch implementation:
+  // signatures as (root code, prefix length) references into the arena,
+  // sorted prefix tables instead of hashed key strings, reused epoched
+  // memos. When null, the retained legacy-heap implementation runs
+  // (per-call containers and key strings) — it is the differential oracle
+  // and the bench harness's A/B baseline. Both produce identical answers,
+  // stats and error behavior.
+  RewriteScratch* scratch = nullptr;
 };
 
 // Answers `query` from materialized fragments only. `fst` must be the

@@ -10,6 +10,7 @@ Skeleton BuildSkeleton(const TreePattern& query,
   Skeleton out;
   std::map<TreePattern::NodeIndex, int> view_count;
   for (const SelectedView& v : views) {
+    // lint:hot-alloc-ok (per selected view, bounded by the selection size)
     std::vector<TreePattern::NodeIndex> path =
         query.PathFromRoot(v.cover.mapped_answer);
     for (TreePattern::NodeIndex n : path) {

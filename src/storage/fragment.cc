@@ -45,13 +45,14 @@ class Reader {
 
 }  // namespace
 
-Fragment Fragment::FromTree(const XmlTree& tree, NodeId root,
-                            bool codes_only) {
+FlatFragment FlatFragment::FromTree(const XmlTree& tree, NodeId root,
+                                    bool codes_only) {
   XVR_CHECK(tree.has_dewey()) << "assign Dewey codes before materializing";
-  Fragment out;
+  FlatFragment out;
   out.root_code_ = tree.dewey(root);
 
-  // DFS copy preserving document order of children.
+  // DFS copy preserving document order of children; the visit order is
+  // preorder, which is exactly the storage order the flat layout wants.
   std::vector<std::pair<NodeId, int32_t>> stack;  // (tree node, frag parent)
   stack.emplace_back(root, -1);
   while (!stack.empty()) {
@@ -63,15 +64,12 @@ Fragment Fragment::FromTree(const XmlTree& tree, NodeId root,
     fn.parent = parent;
     const DeweyCode& code = tree.dewey(tn);
     fn.dewey_component = code.at(code.depth() - 1);
-    out.nodes_.push_back(std::move(fn));
-    if (parent >= 0) {
-      out.nodes_[static_cast<size_t>(parent)].children.push_back(fi);
-    }
+    out.nodes_.push_back(fn);
     if (const std::string* text = tree.text(tn)) {
-      out.texts_[fi] = *text;
+      out.texts_.emplace_back(fi, *text);  // fi ascending -> already sorted
     }
     if (const auto* attrs = tree.attributes(tn)) {
-      out.attrs_[fi] = *attrs;
+      out.attrs_.emplace_back(fi, *attrs);
     }
     if (codes_only) {
       break;  // root only
@@ -82,25 +80,125 @@ Fragment Fragment::FromTree(const XmlTree& tree, NodeId root,
       stack.emplace_back(*it, fi);
     }
   }
+  out.BuildTopology();
   return out;
 }
 
-const std::string* Fragment::text(int32_t i) const {
-  auto it = texts_.find(i);
-  return it == texts_.end() ? nullptr : &it->second;
+void FlatFragment::BuildTopology() {
+  const size_t n = nodes_.size();
+  child_index_.clear();
+  if (n == 0) {
+    return;
+  }
+  child_index_.resize(n - 1);
+  // CSR fill: count children, prefix-sum into ranges, then place child
+  // indices in node order (matching the legacy per-node push_back order).
+  auto fill_csr = [this, n] {
+    for (FragmentNode& node : nodes_) {
+      node.children_begin = 0;
+      node.children_end = 0;
+    }
+    for (size_t i = 1; i < n; ++i) {
+      ++nodes_[static_cast<size_t>(nodes_[i].parent)].children_end;
+    }
+    uint32_t offset = 0;
+    for (FragmentNode& node : nodes_) {
+      node.children_begin = offset;
+      offset += node.children_end;
+      node.children_end = node.children_begin;
+    }
+    for (size_t i = 1; i < n; ++i) {
+      FragmentNode& p = nodes_[static_cast<size_t>(nodes_[i].parent)];
+      child_index_[p.children_end++] = static_cast<int32_t>(i);
+    }
+  };
+  fill_csr();
+
+  // Preorder check: DFS over the CSR children must visit 0, 1, 2, ...
+  // Legacy images only guarantee parents-before-children; canonicalize
+  // those so subtree_end ranges are valid.
+  std::vector<int32_t> perm;
+  perm.reserve(n);
+  std::vector<int32_t> dfs = {0};
+  while (!dfs.empty()) {
+    const int32_t i = dfs.back();
+    dfs.pop_back();
+    perm.push_back(i);
+    const std::span<const int32_t> kids = children(i);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      dfs.push_back(*it);
+    }
+  }
+  bool identity = true;
+  for (size_t k = 0; k < n; ++k) {
+    if (perm[k] != static_cast<int32_t>(k)) {
+      identity = false;
+      break;
+    }
+  }
+  if (!identity) {
+    std::vector<int32_t> inv(n);
+    for (size_t k = 0; k < n; ++k) {
+      inv[static_cast<size_t>(perm[k])] = static_cast<int32_t>(k);
+    }
+    std::vector<FragmentNode> reordered(n);
+    for (size_t k = 0; k < n; ++k) {
+      FragmentNode node = nodes_[static_cast<size_t>(perm[k])];
+      node.parent = node.parent < 0 ? -1 : inv[static_cast<size_t>(node.parent)];
+      reordered[k] = node;
+    }
+    nodes_ = std::move(reordered);
+    for (auto& [id, text] : texts_) {
+      id = inv[static_cast<size_t>(id)];
+    }
+    std::sort(texts_.begin(), texts_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, list] : attrs_) {
+      id = inv[static_cast<size_t>(id)];
+    }
+    std::sort(attrs_.begin(), attrs_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    fill_csr();
+  }
+
+  // Preorder subtree bounds: a node's range ends where its last child's
+  // range ends; sweep bottom-up (children have higher indices).
+  for (size_t i = 0; i < n; ++i) {
+    nodes_[i].subtree_end = static_cast<uint32_t>(i + 1);
+  }
+  for (size_t i = n; i-- > 1;) {
+    FragmentNode& p = nodes_[static_cast<size_t>(nodes_[i].parent)];
+    p.subtree_end = std::max(p.subtree_end, nodes_[i].subtree_end);
+  }
 }
 
-const std::string* Fragment::attribute(int32_t i,
-                                       const std::string& name) const {
-  auto it = attrs_.find(i);
-  if (it == attrs_.end()) return nullptr;
-  for (const XmlAttribute& a : it->second) {
+const std::string* FlatFragment::FindText(int32_t i) const {
+  auto it = std::lower_bound(
+      texts_.begin(), texts_.end(), i,
+      [](const auto& entry, int32_t key) { return entry.first < key; });
+  return it == texts_.end() || it->first != i ? nullptr : &it->second;
+}
+
+const std::vector<XmlAttribute>* FlatFragment::FindAttrs(int32_t i) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), i,
+      [](const auto& entry, int32_t key) { return entry.first < key; });
+  return it == attrs_.end() || it->first != i ? nullptr : &it->second;
+}
+
+const std::string* FlatFragment::text(int32_t i) const { return FindText(i); }
+
+const std::string* FlatFragment::attribute(int32_t i,
+                                           const std::string& name) const {
+  const std::vector<XmlAttribute>* list = FindAttrs(i);
+  if (list == nullptr) return nullptr;
+  for (const XmlAttribute& a : *list) {
     if (a.name == name) return &a.value;
   }
   return nullptr;
 }
 
-DeweyCode Fragment::AbsoluteCode(int32_t i) const {
+DeweyCode FlatFragment::AbsoluteCode(int32_t i) const {
   std::vector<uint32_t> suffix;
   for (int32_t cur = i; cur != 0; cur = node(cur).parent) {
     suffix.push_back(node(cur).dewey_component);
@@ -112,8 +210,8 @@ DeweyCode Fragment::AbsoluteCode(int32_t i) const {
   return out;
 }
 
-bool Fragment::NodeMatches(const TreePattern& pattern,
-                           TreePattern::NodeIndex pn, int32_t fn) const {
+bool FlatFragment::NodeMatches(const TreePattern& pattern,
+                               TreePattern::NodeIndex pn, int32_t fn) const {
   const PatternNode& p = pattern.node(pn);
   if (p.label != kWildcardLabel && p.label != node(fn).label) {
     return false;
@@ -127,8 +225,11 @@ bool Fragment::NodeMatches(const TreePattern& pattern,
   return true;
 }
 
-bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
-                      int32_t fn, std::vector<int8_t>* memo) const {
+// --- legacy walk (per-call memo + explicit stacks) --------------------------
+
+bool FlatFragment::Embeds(const TreePattern& pattern,
+                          TreePattern::NodeIndex pn, int32_t fn,
+                          std::vector<int8_t>* memo) const {
   int8_t& cell =
       (*memo)[static_cast<size_t>(pn) * nodes_.size() +
               static_cast<size_t>(fn)];
@@ -142,7 +243,7 @@ bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
   for (TreePattern::NodeIndex pc : pattern.node(pn).children) {
     bool found = false;
     if (pattern.axis(pc) == Axis::kChild) {
-      for (int32_t fc : node(fn).children) {
+      for (int32_t fc : children(fn)) {
         if (Embeds(pattern, pc, fc, memo)) {
           found = true;
           break;
@@ -150,7 +251,8 @@ bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
       }
     } else {
       // Any proper descendant.
-      std::vector<int32_t> stack(node(fn).children);
+      const std::span<const int32_t> kids = children(fn);
+      std::vector<int32_t> stack(kids.begin(), kids.end());
       while (!stack.empty() && !found) {
         const int32_t fd = stack.back();
         stack.pop_back();
@@ -158,7 +260,7 @@ bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
           found = true;
           break;
         }
-        for (int32_t c : node(fd).children) {
+        for (int32_t c : children(fd)) {
           stack.push_back(c);
         }
       }
@@ -171,7 +273,7 @@ bool Fragment::Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
   return true;
 }
 
-bool Fragment::MatchesAnchored(const TreePattern& pattern) const {
+bool FlatFragment::MatchesAnchored(const TreePattern& pattern) const {
   if (pattern.empty() || nodes_.empty()) {
     return false;
   }
@@ -179,7 +281,7 @@ bool Fragment::MatchesAnchored(const TreePattern& pattern) const {
   return Embeds(pattern, pattern.root(), 0, &memo);
 }
 
-std::vector<int32_t> Fragment::EvaluateAnchored(
+std::vector<int32_t> FlatFragment::EvaluateAnchored(
     const TreePattern& pattern) const {
   std::vector<int32_t> out;
   if (pattern.empty() || nodes_.empty()) {
@@ -198,7 +300,7 @@ std::vector<int32_t> Fragment::EvaluateAnchored(
     std::vector<bool> seen(nodes_.size(), false);
     for (int32_t fx : reach) {
       if (pattern.axis(pc) == Axis::kChild) {
-        for (int32_t fc : node(fx).children) {
+        for (int32_t fc : children(fx)) {
           if (!seen[static_cast<size_t>(fc)] &&
               Embeds(pattern, pc, fc, &memo)) {
             seen[static_cast<size_t>(fc)] = true;
@@ -206,7 +308,8 @@ std::vector<int32_t> Fragment::EvaluateAnchored(
           }
         }
       } else {
-        std::vector<int32_t> stack(node(fx).children);
+        const std::span<const int32_t> kids = children(fx);
+        std::vector<int32_t> stack(kids.begin(), kids.end());
         while (!stack.empty()) {
           const int32_t fd = stack.back();
           stack.pop_back();
@@ -215,7 +318,7 @@ std::vector<int32_t> Fragment::EvaluateAnchored(
             seen[static_cast<size_t>(fd)] = true;
             next.push_back(fd);
           }
-          for (int32_t c : node(fd).children) {
+          for (int32_t c : children(fd)) {
             stack.push_back(c);
           }
         }
@@ -227,40 +330,201 @@ std::vector<int32_t> Fragment::EvaluateAnchored(
   return reach;
 }
 
-std::string Fragment::Serialize() const {
-  std::string out;
-  PutU32(static_cast<uint32_t>(root_code_.depth()), &out);
-  for (uint32_t c : root_code_.components()) {
-    PutU32(c, &out);
+// --- serving walk (epoched memo, subtree-range descendant scans) ------------
+
+namespace {
+
+// Sizes the memo for one pattern-x-fragment evaluation and opens a fresh
+// epoch. Cells from earlier fragments/patterns are invalidated by the epoch
+// bump alone — no clearing.
+void OpenMemoEpoch(size_t cells, size_t nodes, FragmentScratch* scratch) {
+  if (scratch->memo.size() < cells) {
+    scratch->memo.resize(cells, 0);
+    scratch->memo_epoch.resize(cells, 0);
   }
-  PutU32(static_cast<uint32_t>(nodes_.size()), &out);
-  for (const FragmentNode& n : nodes_) {
-    PutU32(static_cast<uint32_t>(n.label), &out);
-    PutU32(static_cast<uint32_t>(n.parent), &out);
-    PutU32(n.dewey_component, &out);
+  if (scratch->seen_epoch.size() < nodes) {
+    scratch->seen_epoch.resize(nodes, 0);
   }
-  PutU32(static_cast<uint32_t>(texts_.size()), &out);
-  for (const auto& [id, text] : texts_) {
-    PutU32(static_cast<uint32_t>(id), &out);
-    PutString(text, &out);
+  if (++scratch->epoch == 0) {  // wrapped: stale cells could alias
+    std::fill(scratch->memo_epoch.begin(), scratch->memo_epoch.end(), 0u);
+    scratch->epoch = 1;
   }
-  PutU32(static_cast<uint32_t>(attrs_.size()), &out);
-  for (const auto& [id, list] : attrs_) {
-    PutU32(static_cast<uint32_t>(id), &out);
-    PutU32(static_cast<uint32_t>(list.size()), &out);
-    for (const XmlAttribute& a : list) {
-      PutString(a.name, &out);
-      PutString(a.value, &out);
+}
+
+}  // namespace
+
+bool FlatFragment::EmbedsEpoch(const TreePattern& pattern,
+                               TreePattern::NodeIndex pn, int32_t fn,
+                               FragmentScratch* scratch) const {
+  const size_t idx =
+      static_cast<size_t>(pn) * nodes_.size() + static_cast<size_t>(fn);
+  if (scratch->memo_epoch[idx] == scratch->epoch) {
+    return scratch->memo[idx] != 0;
+  }
+  scratch->memo_epoch[idx] = scratch->epoch;
+  scratch->memo[idx] = 0;  // in-progress/failed until proven otherwise
+  if (!NodeMatches(pattern, pn, fn)) {
+    return false;
+  }
+  for (TreePattern::NodeIndex pc : pattern.node(pn).children) {
+    bool found = false;
+    if (pattern.axis(pc) == Axis::kChild) {
+      for (int32_t fc : children(fn)) {
+        if (EmbedsEpoch(pattern, pc, fc, scratch)) {
+          found = true;
+          break;
+        }
+      }
+    } else {
+      // Proper descendants are the contiguous preorder range — a linear
+      // scan, no stack.
+      const int32_t end = subtree_end(fn);
+      for (int32_t fd = fn + 1; fd < end; ++fd) {
+        if (EmbedsEpoch(pattern, pc, fd, scratch)) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      return false;
     }
   }
+  scratch->memo[idx] = 1;
+  return true;
+}
+
+bool FlatFragment::MatchesAnchored(const TreePattern& pattern,
+                                   FragmentScratch* scratch) const {
+  if (pattern.empty() || nodes_.empty()) {
+    return false;
+  }
+  OpenMemoEpoch(pattern.size() * nodes_.size(), nodes_.size(), scratch);
+  return EmbedsEpoch(pattern, pattern.root(), 0, scratch);
+}
+
+void FlatFragment::EvaluateAnchored(const TreePattern& pattern,
+                                    FragmentScratch* scratch,
+                                    std::vector<int32_t>* out) const {
+  if (pattern.empty() || nodes_.empty()) {
+    return;
+  }
+  OpenMemoEpoch(pattern.size() * nodes_.size(), nodes_.size(), scratch);
+  if (!EmbedsEpoch(pattern, pattern.root(), 0, scratch)) {
+    return;
+  }
+  scratch->reach.clear();
+  scratch->reach.push_back(0);
+  const auto chain = pattern.PathFromRoot(pattern.answer());
+  for (size_t ci = 1; ci < chain.size() && !scratch->reach.empty(); ++ci) {
+    const TreePattern::NodeIndex pc = chain[ci];
+    scratch->next.clear();
+    if (++scratch->seen_generation == 0) {
+      std::fill(scratch->seen_epoch.begin(), scratch->seen_epoch.end(), 0u);
+      scratch->seen_generation = 1;
+    }
+    auto try_add = [this, &pattern, pc, scratch](int32_t fd) {
+      uint32_t& seen = scratch->seen_epoch[static_cast<size_t>(fd)];
+      if (seen != scratch->seen_generation &&
+          EmbedsEpoch(pattern, pc, fd, scratch)) {
+        seen = scratch->seen_generation;
+        scratch->next.push_back(fd);
+      }
+    };
+    for (int32_t fx : scratch->reach) {
+      if (pattern.axis(pc) == Axis::kChild) {
+        for (int32_t fc : children(fx)) {
+          try_add(fc);
+        }
+      } else {
+        const int32_t end = subtree_end(fx);
+        for (int32_t fd = fx + 1; fd < end; ++fd) {
+          try_add(fd);
+        }
+      }
+    }
+    scratch->reach.swap(scratch->next);
+  }
+  std::sort(scratch->reach.begin(), scratch->reach.end());
+  out->insert(out->end(), scratch->reach.begin(), scratch->reach.end());
+}
+
+// --- serialization ----------------------------------------------------------
+
+namespace {
+
+// Body shared by v1 and v2: root code, nodes, sorted texts, sorted attrs.
+void PutBody(const DeweyCode& root_code,
+             const std::vector<FragmentNode>& nodes,
+             const std::vector<std::pair<int32_t, std::string>>& texts,
+             const std::vector<std::pair<int32_t, std::vector<XmlAttribute>>>&
+                 attrs,
+             std::string* out) {
+  PutU32(static_cast<uint32_t>(root_code.depth()), out);
+  for (uint32_t c : root_code.components()) {
+    PutU32(c, out);
+  }
+  PutU32(static_cast<uint32_t>(nodes.size()), out);
+  for (const FragmentNode& n : nodes) {
+    PutU32(static_cast<uint32_t>(n.label), out);
+    PutU32(static_cast<uint32_t>(n.parent), out);
+    PutU32(n.dewey_component, out);
+  }
+  PutU32(static_cast<uint32_t>(texts.size()), out);
+  for (const auto& [id, text] : texts) {
+    PutU32(static_cast<uint32_t>(id), out);
+    PutString(text, out);
+  }
+  PutU32(static_cast<uint32_t>(attrs.size()), out);
+  for (const auto& [id, list] : attrs) {
+    PutU32(static_cast<uint32_t>(id), out);
+    PutU32(static_cast<uint32_t>(list.size()), out);
+    for (const XmlAttribute& a : list) {
+      PutString(a.name, out);
+      PutString(a.value, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FlatFragment::Serialize() const {
+  std::string out;
+  PutU32(kFlatMagic, &out);
+  PutBody(root_code_, nodes_, texts_, attrs_, &out);
   return out;
 }
 
-Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
+std::string FlatFragment::SerializeLegacy() const {
+  std::string out;
+  PutBody(root_code_, nodes_, texts_, attrs_, &out);
+  return out;
+}
+
+Result<FlatFragment> FlatFragment::Deserialize(const std::string& bytes,
+                                               bool* was_flat) {
   Reader r(bytes);
-  Fragment out;
+  FlatFragment out;
+  uint32_t first = 0;
+  if (!r.ReadU32(&first)) {
+    return Status::ParseError("truncated fragment (header)");
+  }
+  const bool flat = first == kFlatMagic;
+  if (was_flat != nullptr) {
+    *was_flat = flat;
+  }
   uint32_t depth = 0;
-  if (!r.ReadU32(&depth) || depth > bytes.size() / 4) {
+  if (flat) {
+    if (!r.ReadU32(&depth)) {
+      return Status::ParseError("truncated fragment (code depth)");
+    }
+  } else {
+    // Legacy v1 image: the first u32 is the code depth itself. kFlatMagic
+    // is far beyond any plausible depth, so the tag cannot be confused with
+    // a v1 depth that passes this bound.
+    depth = first;
+  }
+  if (depth > bytes.size() / 4) {
     return Status::ParseError("truncated fragment (code depth)");
   }
   for (uint32_t i = 0; i < depth; ++i) {
@@ -290,10 +554,6 @@ Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
                   static_cast<uint32_t>(out.nodes_[i].parent) >= i)) {
       return Status::ParseError("corrupt fragment (parent link)");
     }
-    if (out.nodes_[i].parent >= 0) {
-      out.nodes_[static_cast<size_t>(out.nodes_[i].parent)]
-          .children.push_back(static_cast<int32_t>(i));
-    }
   }
   uint32_t num_texts = 0;
   if (!r.ReadU32(&num_texts) || num_texts > bytes.size() / 8) {
@@ -305,7 +565,7 @@ Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
     if (!r.ReadU32(&id) || id >= count || !r.ReadString(&text)) {
       return Status::ParseError("truncated fragment (text entry)");
     }
-    out.texts_[static_cast<int32_t>(id)] = std::move(text);
+    out.texts_.emplace_back(static_cast<int32_t>(id), std::move(text));
   }
   uint32_t num_attr_nodes = 0;
   if (!r.ReadU32(&num_attr_nodes) || num_attr_nodes > bytes.size() / 8) {
@@ -318,7 +578,7 @@ Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
         n > bytes.size() / 8) {
       return Status::ParseError("truncated fragment (attr entry)");
     }
-    auto& list = out.attrs_[static_cast<int32_t>(id)];
+    std::vector<XmlAttribute> list;
     for (uint32_t j = 0; j < n; ++j) {
       XmlAttribute a;
       if (!r.ReadString(&a.name) || !r.ReadString(&a.value)) {
@@ -326,12 +586,46 @@ Result<Fragment> Fragment::Deserialize(const std::string& bytes) {
       }
       list.push_back(std::move(a));
     }
+    out.attrs_.emplace_back(static_cast<int32_t>(id), std::move(list));
   }
+  // Canonicalize the side tables: sorted by node id, one entry per node.
+  // Legacy images may list ids in any order; a duplicate text id keeps the
+  // last occurrence (matching the old map overwrite) and duplicate attr
+  // lists concatenate (matching the old map append).
+  std::stable_sort(out.texts_.begin(), out.texts_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 1; i < out.texts_.size();) {
+    if (out.texts_[i - 1].first == out.texts_[i].first) {
+      out.texts_[i - 1].second = std::move(out.texts_[i].second);
+      out.texts_.erase(out.texts_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  std::stable_sort(out.attrs_.begin(), out.attrs_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 1; i < out.attrs_.size();) {
+    if (out.attrs_[i - 1].first == out.attrs_[i].first) {
+      auto& prev = out.attrs_[i - 1].second;
+      auto& cur = out.attrs_[i].second;
+      prev.insert(prev.end(), std::make_move_iterator(cur.begin()),
+                  std::make_move_iterator(cur.end()));
+      out.attrs_.erase(out.attrs_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  out.BuildTopology();
   return out;
 }
 
-size_t Fragment::ByteSize() const {
-  size_t bytes = 4 + root_code_.depth() * 4 + 4 + nodes_.size() * 12 + 8;
+size_t FlatFragment::ByteSize() const {
+  // v2 header (magic) + code + nodes + the two table headers.
+  size_t bytes = 4 + 4 + root_code_.depth() * 4 + 4 + nodes_.size() * 12 + 8;
   for (const auto& [id, text] : texts_) {
     (void)id;
     bytes += 8 + text.size();
@@ -346,14 +640,14 @@ size_t Fragment::ByteSize() const {
   return bytes;
 }
 
-std::string Fragment::ToXml(const LabelDict& dict, int32_t from) const {
+std::string FlatFragment::ToXml(const LabelDict& dict, int32_t from) const {
   std::string out;
   // Recursive render without building an XmlTree.
   std::function<void(int32_t)> render = [&](int32_t i) {
     out.push_back('<');
     out.append(dict.Name(node(i).label));
-    if (auto it = attrs_.find(i); it != attrs_.end()) {
-      for (const XmlAttribute& a : it->second) {
+    if (const std::vector<XmlAttribute>* list = FindAttrs(i)) {
+      for (const XmlAttribute& a : *list) {
         out.push_back(' ');
         out.append(a.name);
         out.append("=\"");
@@ -362,7 +656,7 @@ std::string Fragment::ToXml(const LabelDict& dict, int32_t from) const {
       }
     }
     const std::string* t = text(i);
-    if (node(i).children.empty() && t == nullptr) {
+    if (children(i).empty() && t == nullptr) {
       out.append("/>");
       return;
     }
@@ -370,7 +664,7 @@ std::string Fragment::ToXml(const LabelDict& dict, int32_t from) const {
     if (t != nullptr) {
       out.append(EscapeText(*t));
     }
-    for (int32_t c : node(i).children) {
+    for (int32_t c : children(i)) {
       render(c);
     }
     out.append("</");

@@ -8,10 +8,27 @@
 // per-node Dewey components, text and attributes — so the rewriter can
 // refine and join them, and extract query results, without ever touching the
 // base document (the paper's core requirement, §I/§V).
+//
+// Storage layout (the hot-path memory architecture's storage layer): nodes
+// are stored in PREORDER in one contiguous array, and the tree topology is
+// offset-based (CSR):
+//
+//   nodes_[i]         label, parent, dewey component, child range, subtree end
+//   child_index_      all child lists back to back; node i's children are
+//                     child_index_[children_begin .. children_end), in
+//                     document order
+//   texts_, attrs_    sorted side arrays keyed by node index (binary search)
+//
+// Preorder means the proper descendants of node i are exactly the index
+// range (i, subtree_end), so descendant-axis walks are linear scans over the
+// node array instead of pointer-chasing through per-node child vectors. A
+// fragment owns exactly three flat buffers regardless of its shape, which is
+// also what makes stored views cheap to ship wholesale (serde below).
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -24,27 +41,58 @@ namespace xvr {
 
 struct FragmentNode {
   LabelId label = kInvalidLabel;
-  int32_t parent = -1;                 // -1 for the fragment root
-  uint32_t dewey_component = 0;        // last component of its absolute code
-  std::vector<int32_t> children;
+  int32_t parent = -1;           // -1 for the fragment root
+  uint32_t dewey_component = 0;  // last component of its absolute code
+  // CSR child range into FlatFragment::child_index_.
+  uint32_t children_begin = 0;
+  uint32_t children_end = 0;
+  // One past the last node of this node's subtree (preorder contiguity).
+  uint32_t subtree_end = 0;
 };
 
-class Fragment {
+// Reusable evaluation scratch for the anchored-pattern walks. One per
+// ExecutionContext (inside RewriteScratch); the epoch counter makes the
+// embedding memo reusable across fragments without clearing it, so the
+// refinement loop performs no per-fragment allocation at all.
+struct FragmentScratch {
+  // Flat [pattern.size() x fragment.size()] embedding memo; a cell is
+  // valid only when its epoch matches the current one.
+  std::vector<int8_t> memo;
+  std::vector<uint32_t> memo_epoch;
+  uint32_t epoch = 0;
+  // Frontier buffers for EvaluateAnchored's root-to-answer propagation.
+  std::vector<int32_t> reach;
+  std::vector<int32_t> next;
+  std::vector<uint32_t> seen_epoch;
+  uint32_t seen_generation = 0;
+};
+
+class FlatFragment {
  public:
-  Fragment() = default;
+  FlatFragment() = default;
 
   // Copies the subtree of `tree` rooted at `root`. The tree must have Dewey
   // codes assigned. With `codes_only` (§VII partial materialization) only
   // the root node, its text and its attributes are captured — enough for
   // joins, anchor checks and anchor-level value predicates, at a fraction
   // of the storage.
-  static Fragment FromTree(const XmlTree& tree, NodeId root,
-                           bool codes_only = false);
+  static FlatFragment FromTree(const XmlTree& tree, NodeId root,
+                               bool codes_only = false);
 
   const DeweyCode& root_code() const { return root_code_; }
   size_t size() const { return nodes_.size(); }
   const FragmentNode& node(int32_t i) const {
     return nodes_[static_cast<size_t>(i)];
+  }
+  // Children of node i in document order (CSR slice).
+  std::span<const int32_t> children(int32_t i) const {
+    const FragmentNode& n = nodes_[static_cast<size_t>(i)];
+    return {child_index_.data() + n.children_begin,
+            n.children_end - n.children_begin};
+  }
+  // Preorder subtree bound: proper descendants of i are (i, subtree_end(i)).
+  int32_t subtree_end(int32_t i) const {
+    return static_cast<int32_t>(nodes_[static_cast<size_t>(i)].subtree_end);
   }
   const std::string* text(int32_t i) const;
   const std::string* attribute(int32_t i, const std::string& name) const;
@@ -57,18 +105,43 @@ class Fragment {
   // Compensating patterns are anchored: the pattern root corresponds to the
   // fragment root (the view's answer node). Axes are interpreted inside the
   // fragment.
+  //
+  // Each operation has two implementations. The scratch-taking form is the
+  // serving path: epoched memo, no allocation, descendant axes as linear
+  // subtree scans. The scratch-free form is the retained legacy walk
+  // (per-call memo + explicit stacks); it is the differential-testing
+  // oracle and the A/B baseline for the bench harness, and remains correct
+  // for one-off callers.
 
   // True iff the pattern embeds with pattern-root -> fragment-root.
   [[nodiscard]] bool MatchesAnchored(const TreePattern& pattern) const;
+  [[nodiscard]] bool MatchesAnchored(const TreePattern& pattern,
+                                     FragmentScratch* scratch) const;
 
   // Every fragment node that is the image of the pattern's answer node in
-  // some anchored embedding.
+  // some anchored embedding (ascending). The scratch form appends to *out.
   std::vector<int32_t> EvaluateAnchored(const TreePattern& pattern) const;
+  void EvaluateAnchored(const TreePattern& pattern, FragmentScratch* scratch,
+                        std::vector<int32_t>* out) const;
 
   // --- serialization --------------------------------------------------------
+  //
+  // Two wire formats. v2 (current, written by Serialize) starts with the
+  // kFlatMagic marker and stores nodes in guaranteed preorder with sorted
+  // text/attr tables — byte-for-byte deterministic. v1 (legacy, no magic;
+  // the first u32 is the root-code depth) is still accepted by Deserialize,
+  // including images whose nodes are not in preorder: those are
+  // canonicalized to preorder on load. SerializeLegacy writes v1 for the
+  // compatibility tests.
+
+  static constexpr uint32_t kFlatMagic = 0x46524732;  // "FRG2" (LE "2GRF")
 
   std::string Serialize() const;
-  static Result<Fragment> Deserialize(const std::string& bytes);
+  std::string SerializeLegacy() const;
+  // `was_flat`, when non-null, reports which format the image carried
+  // (feeds the fragment.flat_ratio metric).
+  static Result<FlatFragment> Deserialize(const std::string& bytes,
+                                          bool* was_flat = nullptr);
 
   // Bytes the fragment occupies when serialized (the 128 KB budget metric).
   size_t ByteSize() const;
@@ -81,15 +154,31 @@ class Fragment {
  private:
   bool NodeMatches(const TreePattern& pattern, TreePattern::NodeIndex pn,
                    int32_t fn) const;
-  // memo is a flat [pattern.size() x nodes_.size()] array of {-1,0,1}.
+  // Legacy walk: memo is a flat [pattern.size() x nodes_.size()] array of
+  // {-1,0,1}, allocated (and filled) per call.
   bool Embeds(const TreePattern& pattern, TreePattern::NodeIndex pn,
               int32_t fn, std::vector<int8_t>* memo) const;
+  // Serving walk: epoch-validated memo owned by `scratch`.
+  bool EmbedsEpoch(const TreePattern& pattern, TreePattern::NodeIndex pn,
+                   int32_t fn, FragmentScratch* scratch) const;
+  // Rebuilds child_index_/children ranges/subtree_end from nodes_[].parent,
+  // permuting to preorder first when the node order requires it (legacy
+  // images). Parents must precede children.
+  void BuildTopology();
+
+  const std::string* FindText(int32_t i) const;
+  const std::vector<XmlAttribute>* FindAttrs(int32_t i) const;
 
   DeweyCode root_code_;
-  std::vector<FragmentNode> nodes_;  // node 0 is the root
-  std::unordered_map<int32_t, std::string> texts_;
-  std::unordered_map<int32_t, std::vector<XmlAttribute>> attrs_;
+  std::vector<FragmentNode> nodes_;  // node 0 is the root; preorder
+  std::vector<int32_t> child_index_;
+  // Sorted by node index (document order in preorder).
+  std::vector<std::pair<int32_t, std::string>> texts_;
+  std::vector<std::pair<int32_t, std::vector<XmlAttribute>>> attrs_;
 };
+
+// The serving code predates the flat layout and names the type Fragment.
+using Fragment = FlatFragment;
 
 }  // namespace xvr
 

@@ -41,7 +41,9 @@ void SortByRoot(std::vector<Fragment>* fragments) {
 // as snapshots are cloned and moved in both directions.
 
 FragmentStore::FragmentStore(const FragmentStore& other)
-    : views_(other.views_) {
+    : views_(other.views_),
+      flat_loads_(other.flat_loads_),
+      legacy_loads_(other.legacy_loads_) {
   std::unordered_map<int32_t, size_t> memo;
   {
     MutexLock lock_other(&other.byte_size_mu_);
@@ -54,6 +56,8 @@ FragmentStore::FragmentStore(const FragmentStore& other)
 FragmentStore& FragmentStore::operator=(const FragmentStore& other) {
   if (this != &other) {
     views_ = other.views_;
+    flat_loads_ = other.flat_loads_;
+    legacy_loads_ = other.legacy_loads_;
     std::unordered_map<int32_t, size_t> memo;
     {
       MutexLock lock_other(&other.byte_size_mu_);
@@ -66,7 +70,9 @@ FragmentStore& FragmentStore::operator=(const FragmentStore& other) {
 }
 
 FragmentStore::FragmentStore(FragmentStore&& other) noexcept
-    : views_(std::move(other.views_)) {
+    : views_(std::move(other.views_)),
+      flat_loads_(other.flat_loads_),
+      legacy_loads_(other.legacy_loads_) {
   std::unordered_map<int32_t, size_t> memo;
   {
     MutexLock lock_other(&other.byte_size_mu_);
@@ -80,6 +86,8 @@ FragmentStore::FragmentStore(FragmentStore&& other) noexcept
 FragmentStore& FragmentStore::operator=(FragmentStore&& other) noexcept {
   if (this != &other) {
     views_ = std::move(other.views_);
+    flat_loads_ = other.flat_loads_;
+    legacy_loads_ = other.legacy_loads_;
     std::unordered_map<int32_t, size_t> memo;
     {
       MutexLock lock_other(&other.byte_size_mu_);
@@ -187,6 +195,8 @@ Status FragmentStore::LoadFrom(const KvStore& kv,
 Status FragmentStore::LoadFromImpl(const KvStore& kv,
                                    std::vector<int32_t>* quarantined) {
   views_.clear();
+  flat_loads_ = 0;
+  legacy_loads_ = 0;
   {
     MutexLock lock(&byte_size_mu_);
     byte_size_memo_.clear();
@@ -214,7 +224,8 @@ Status FragmentStore::LoadFromImpl(const KvStore& kv,
     if (bad_views.count(view_id) != 0) {
       return true;
     }
-    Result<Fragment> fragment = Fragment::Deserialize(value);
+    bool was_flat = false;
+    Result<Fragment> fragment = Fragment::Deserialize(value, &was_flat);
     XVR_FAULT_POINT(
         "fragment_store.load",
         fragment = Status::ParseError("injected: fragment_store.load"));
@@ -232,6 +243,11 @@ Status FragmentStore::LoadFromImpl(const KvStore& kv,
       }
       status = fragment.status();
       return false;
+    }
+    if (was_flat) {
+      ++flat_loads_;
+    } else {
+      ++legacy_loads_;
     }
     loading[view_id].push_back(std::move(fragment).value());
     return true;

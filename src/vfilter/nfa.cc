@@ -46,7 +46,73 @@ StateId PathNfa::Step(StateId from, const PathStep& step, bool share) {
   const StateId next = NewState();
   states_[static_cast<size_t>(source)].label_trans[step.label].push_back(
       next);
+  NoteTransition(source, step.label, next);
   return next;
+}
+
+void PathNfa::BuildDenseFor(StateId s) {
+  const State& state = states_[static_cast<size_t>(s)];
+  if (dense_index_.size() < states_.size()) {
+    dense_index_.resize(states_.size(), -1);
+  }
+  std::vector<StateId> table;
+  for (const auto& [label, targets] : state.label_trans) {
+    if (label < 0 || targets.empty()) {
+      continue;
+    }
+    if (static_cast<size_t>(label) >= table.size()) {
+      table.resize(static_cast<size_t>(label) + 1, kNoState);
+    }
+    table[static_cast<size_t>(label)] =
+        targets.size() == 1 ? targets.front() : kMultiTarget;
+  }
+  dense_index_[static_cast<size_t>(s)] =
+      static_cast<int32_t>(dense_tables_.size());
+  dense_tables_.push_back(std::move(table));
+}
+
+void PathNfa::NoteTransition(StateId from, LabelId label, StateId to) {
+  if (dense_threshold_ <= 0 || label < 0) {
+    return;
+  }
+  if (dense_index_.size() < states_.size()) {
+    dense_index_.resize(states_.size(), -1);
+  }
+  const int32_t table = dense_index_[static_cast<size_t>(from)];
+  if (table < 0) {
+    // Not dense yet: promote once the fanout crosses the threshold
+    // (BuildDenseFor reads label_trans, which already holds `to`).
+    if (states_[static_cast<size_t>(from)].label_trans.size() >=
+        static_cast<size_t>(dense_threshold_)) {
+      BuildDenseFor(from);
+    }
+    return;
+  }
+  std::vector<StateId>& dense = dense_tables_[static_cast<size_t>(table)];
+  if (static_cast<size_t>(label) >= dense.size()) {
+    dense.resize(static_cast<size_t>(label) + 1, kNoState);
+  }
+  StateId& entry = dense[static_cast<size_t>(label)];
+  entry = entry == kNoState ? to : kMultiTarget;
+}
+
+void PathNfa::set_dense_threshold(int threshold) {
+  dense_threshold_ = threshold;
+  RebuildDispatch();
+}
+
+void PathNfa::RebuildDispatch() {
+  dense_index_.assign(states_.size(), -1);
+  dense_tables_.clear();
+  if (dense_threshold_ <= 0) {
+    return;
+  }
+  for (size_t s = 0; s < states_.size(); ++s) {
+    if (states_[s].label_trans.size() >=
+        static_cast<size_t>(dense_threshold_)) {
+      BuildDenseFor(static_cast<StateId>(s));
+    }
+  }
 }
 
 void PathNfa::Insert(const PathPattern& path, int32_t view_id,
@@ -172,10 +238,37 @@ void PathNfa::Read(const std::vector<int32_t>& tokens,
         continue;  // '#' can only be absorbed by self-loops
       }
       if (token != kWildcardLabel) {
-        auto it = s.label_trans.find(token);
-        if (it != s.label_trans.end()) {
-          for (StateId t : it->second) {
-            add(&scratch->next, t);
+        // Dense dispatch: one array load instead of a hash probe for the
+        // high-fanout states (the trie's first levels, where every read
+        // spends its first tokens). kMultiTarget and sub-threshold states
+        // fall back to the sparse map.
+        const int32_t table =
+            scratch->use_dense && static_cast<size_t>(id) < dense_index_.size()
+                ? dense_index_[static_cast<size_t>(id)]
+                : -1;
+        if (table >= 0) {
+          const std::vector<StateId>& dense =
+              dense_tables_[static_cast<size_t>(table)];
+          const StateId entry =
+              token >= 0 && static_cast<size_t>(token) < dense.size()
+                  ? dense[static_cast<size_t>(token)]
+                  : kNoState;
+          if (entry == kMultiTarget) {
+            auto it = s.label_trans.find(token);
+            if (it != s.label_trans.end()) {
+              for (StateId t : it->second) {
+                add(&scratch->next, t);
+              }
+            }
+          } else if (entry != kNoState) {
+            add(&scratch->next, entry);
+          }
+        } else {
+          auto it = s.label_trans.find(token);
+          if (it != s.label_trans.end()) {
+            for (StateId t : it->second) {
+              add(&scratch->next, t);
+            }
           }
         }
       }

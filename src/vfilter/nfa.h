@@ -44,6 +44,10 @@ namespace xvr {
 
 using StateId = int32_t;
 inline constexpr StateId kNoState = -1;
+// Dense-table sentinel: this label has several targets at this state, fall
+// back to the sparse map (prefix-sharing ablation only; with sharing on
+// every (state, label) has at most one target).
+inline constexpr StateId kMultiTarget = -2;
 
 // Pred tokens are kPredTokenBase - pred_id (pred ids interned by VFilter).
 inline constexpr int32_t kPredTokenBase = -1000;
@@ -74,6 +78,11 @@ struct NfaReadScratch {
   uint32_t read_epoch = 0;
   std::vector<StateId> current;
   std::vector<StateId> next;
+  // Label dispatch through the dense per-state tables (default). Off = the
+  // legacy sparse unordered_map lookup; the read-side toggle exists so the
+  // bench harness can A/B the two dispatch paths on one automaton and the
+  // differential tests can assert equivalence.
+  bool use_dense = true;
 };
 
 class PathNfa {
@@ -129,15 +138,49 @@ class PathNfa {
     std::vector<AcceptEntry> accepts;
   };
   const std::vector<State>& states() const { return states_; }
+  // Callers that edit the returned states structurally (serde installs them
+  // wholesale, tests inject corruptions) must call RebuildDispatch() before
+  // the next Read(), or the derived dense tables go stale.
   std::vector<State>& mutable_states() { return states_; }
   StateId start() const { return 0; }
+
+  // --- dense label dispatch (derived, never serialized) --------------------
+  //
+  // A state whose label fanout reaches the threshold gets a label-indexed
+  // target table, turning the hot Read() lookup from a hash probe into an
+  // array load. States below the threshold (the long tail: trie chains with
+  // fanout 1-2) keep the sparse map. Maintained incrementally by Insert.
+
+  // 0 (or negative) disables dense tables entirely. Rebuilds on change.
+  void set_dense_threshold(int threshold);
+  int dense_threshold() const { return dense_threshold_; }
+  // Drops and rebuilds every dense table from label_trans.
+  void RebuildDispatch();
+  size_t num_dense_states() const { return dense_tables_.size(); }
 
  private:
   StateId NewState();
   // Follows/creates the transition for one step out of `from`.
   StateId Step(StateId from, const PathStep& step, bool share);
+  // Incremental dense maintenance for one new label transition.
+  void NoteTransition(StateId from, LabelId label, StateId to);
+  void BuildDenseFor(StateId s);
 
   std::vector<State> states_;
+  // state -> index into dense_tables_, or -1 for sparse states.
+  std::vector<int32_t> dense_index_;
+  // Per dense state: label -> target (kNoState empty, kMultiTarget = use
+  // the sparse map for this label).
+  std::vector<std::vector<StateId>> dense_tables_;
+  int dense_threshold_ = kDefaultDenseThreshold;
+
+ public:
+  // Fanout at which a state's dispatch flips from sparse to dense. Picked
+  // empirically (DESIGN.md "Hot-path memory architecture"): below ~8 a
+  // linear/hash probe over the map wins on memory, at 8+ the array load
+  // wins on time; XMark catalogs put the high-fanout mass at the trie's
+  // first two levels.
+  static constexpr int kDefaultDenseThreshold = 8;
 };
 
 }  // namespace xvr

@@ -8,7 +8,9 @@
 
 namespace xvr {
 
-VFilter::VFilter(VFilterOptions options) : options_(options) {}
+VFilter::VFilter(VFilterOptions options) : options_(options) {
+  nfa_.set_dense_threshold(options_.dense_fanout_threshold);
+}
 
 namespace {
 std::string PredKey(const ValuePredicate& pred) {

@@ -225,6 +225,9 @@ Result<VFilter> ParseVFilterBody(std::string_view payload) {
       }
     }
   }
+  // The states were installed wholesale, bypassing Insert's incremental
+  // dense-table maintenance; derive the dispatch tables now.
+  filter.mutable_nfa().RebuildDispatch();
   return filter;
 }
 

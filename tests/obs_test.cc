@@ -521,6 +521,44 @@ TEST_F(EngineObservabilityTest, ExpositionsCoverTheMetricCatalog) {
             std::string::npos);
 }
 
+TEST_F(EngineObservabilityTest, ArenaGaugesTrackTheServingPath) {
+  AddViews();
+  ASSERT_TRUE(
+      engine_.AnswerQuery(Parse("/r/s[f]/p"), AnswerStrategy::kHeuristicFiltered)
+          .ok());
+  const std::string text = engine_.MetricsText();
+  EXPECT_NE(text.find("gauge xvr.arena.bytes_allocated "), std::string::npos);
+  EXPECT_NE(text.find("gauge xvr.arena.high_water "), std::string::npos);
+  const xvr::Gauge* high_water =
+      engine_.metrics().GetGauge("xvr.arena.high_water");
+  EXPECT_GT(high_water->Value(), 0)
+      << "a view-answered query must leave an arena footprint";
+  EXPECT_GE(high_water->Value(),
+            engine_.metrics().GetGauge("xvr.arena.bytes_allocated")->Value());
+  EXPECT_NE(engine_.MetricsJson().find("\"xvr.arena.high_water\":"),
+            std::string::npos);
+}
+
+TEST_F(EngineObservabilityTest, FragmentFormatCensusIsExposedOnLoad) {
+  AddViews();
+  const std::string path = ::testing::TempDir() + "xvr_obs_flat_ratio.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(engine_.SaveState(path).ok());
+  auto loaded = Engine::LoadState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // SaveState writes v2 images, so a fresh load is 100% flat.
+  const std::string text = (*loaded)->MetricsText();
+  EXPECT_NE(text.find("gauge xvr.fragment.flat_ratio_pct 100\n"),
+            std::string::npos)
+      << text;
+  EXPECT_GT((*loaded)->metrics().GetCounter("xvr.fragment.flat_loads")->Value(),
+            0u);
+  EXPECT_EQ(
+      (*loaded)->metrics().GetCounter("xvr.fragment.legacy_loads")->Value(),
+      0u);
+  std::remove(path.c_str());
+}
+
 class EngineMetricsDisabledTest : public EngineObservabilityTest {
  protected:
   static EngineOptions Disabled() {
